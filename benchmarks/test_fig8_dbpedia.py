@@ -1,0 +1,195 @@
+"""Experiments E6-E9 — paper Figure 8: the DBpedia benchmark.
+
+* 8a: 20 benchmark queries (SPARQL→Gremlin conversions) on SQLGraph vs the
+  native (Neo4j-like) and KV (Titan-like) pipe-at-a-time stores;
+* 8b: the 11 long-path queries on the same three stores;
+* 8c: SQLGraph mean query time as the buffer pool grows (the memory sweep);
+* 8d: summary means (benchmark / path) per system.
+
+Paper shape: SQLGraph ~2x faster than Titan and ~8x than Neo4j overall,
+with lower variance; memory beyond the working set stops helping.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import RUNS, record
+from repro.bench.reporting import format_table, milliseconds
+from repro.bench.runner import warm_cache_time
+from repro.core import SQLGraphStore
+from repro.datasets import dbpedia
+
+
+def _time_stores(stores, queries):
+    """Run the warm-cache protocol for every query on every store."""
+    results = {name: [] for name, __ in stores}
+    for __, text in queries:
+        for name, store in stores:
+            mean, __samples = warm_cache_time(
+                lambda q=text, s=store: s.run(q), runs=RUNS
+            )
+            results[name].append(mean)
+    return results
+
+
+def _check_agreement(stores, queries):
+    baseline_name, baseline = stores[0]
+    for query_id, text in queries:
+        expected = sorted(map(repr, baseline.run(text)))
+        for name, store in stores[1:]:
+            got = sorted(map(repr, store.run(text)))
+            assert got == expected, (query_id, baseline_name, name)
+
+
+@pytest.fixture(scope="module")
+def all_stores(sqlgraph_store, native_store, kv_store):
+    return [
+        ("sqlgraph", sqlgraph_store),
+        ("titan-like(kv)", kv_store),
+        ("neo4j-like(native)", native_store),
+    ]
+
+
+def test_fig8a_benchmark_queries(benchmark, all_stores, dbpedia_data):
+    queries = dbpedia.benchmark_queries(dbpedia_data)
+    _check_agreement(all_stores, queries)
+    results = _time_stores(all_stores, queries)
+    rows = []
+    for position, (query_id, __text) in enumerate(queries):
+        rows.append(
+            [query_id]
+            + [milliseconds(results[name][position]) for name, __ in all_stores]
+        )
+    means = {
+        name: statistics.fmean(times) for name, times in results.items()
+    }
+    stdevs = {
+        name: statistics.pstdev(times) for name, times in results.items()
+    }
+    rows.append(["mean"] + [milliseconds(means[n]) for n, __ in all_stores])
+    rows.append(["stdev"] + [milliseconds(stdevs[n]) for n, __ in all_stores])
+    record(
+        "fig8a_benchmark_queries",
+        format_table(
+            ["query"] + [name for name, __ in all_stores],
+            rows,
+            title="Figure 8a — DBpedia benchmark queries (ms)",
+        ),
+    )
+    # paper shape: SQLGraph has the best mean and the lowest variance
+    assert means["sqlgraph"] < means["titan-like(kv)"]
+    assert means["sqlgraph"] < means["neo4j-like(native)"]
+    assert stdevs["sqlgraph"] <= min(
+        stdevs["titan-like(kv)"], stdevs["neo4j-like(native)"]
+    ) * 1.5
+
+    sql_store = all_stores[0][1]
+    benchmark(lambda: sql_store.run(queries[0][1]))
+
+
+def test_fig8b_path_queries(benchmark, all_stores, dbpedia_data):
+    queries = dbpedia.path_queries(dbpedia_data)
+    _check_agreement(all_stores, queries)
+    results = _time_stores(all_stores, queries)
+    rows = []
+    for position, (query_id, __text) in enumerate(queries):
+        rows.append(
+            [query_id]
+            + [milliseconds(results[name][position]) for name, __ in all_stores]
+        )
+    means = {name: statistics.fmean(times) for name, times in results.items()}
+    rows.append(["mean"] + [milliseconds(means[n]) for n, __ in all_stores])
+    record(
+        "fig8b_path_queries",
+        format_table(
+            ["query"] + [name for name, __ in all_stores],
+            rows,
+            title="Figure 8b — DBpedia path queries (ms)",
+        ),
+    )
+    assert means["sqlgraph"] < means["titan-like(kv)"]
+    assert means["sqlgraph"] < means["neo4j-like(native)"]
+
+    sql_store = all_stores[0][1]
+    benchmark(lambda: sql_store.run(queries[0][1]))
+
+
+def test_fig8c_memory_sweep(benchmark, dbpedia_data):
+    """SQLGraph mean query time vs buffer-pool size.
+
+    The paper varies server memory 2-10GB and sees no benefit past the
+    working set; here the buffer pool plays that role.
+    """
+    queries = (
+        dbpedia.benchmark_queries(dbpedia_data)
+        + dbpedia.path_queries(dbpedia_data)
+    )
+    pool_sizes = [2, 4, 8, 16, 32, None]
+    rows = []
+    sweep_means = []
+    for pool in pool_sizes:
+        store = SQLGraphStore(buffer_pool_pages=pool)
+        store.load_graph(dbpedia_data.graph)
+        store.create_attribute_index("vertex", "uri")
+        store.create_attribute_index("vertex", "tag")
+
+        def run_all(s=store):
+            for __, text in queries:
+                s.run(text)
+
+        mean, __ = warm_cache_time(run_all, runs=max(4, RUNS // 2))
+        misses = store.database.buffer_pool.misses
+        sweep_means.append(mean)
+        rows.append([
+            "unbounded" if pool is None else pool,
+            milliseconds(mean / len(queries)),
+            misses,
+        ])
+    record(
+        "fig8c_memory_sweep",
+        format_table(
+            ["buffer pool (pages)", "mean query ms", "pool misses"],
+            rows,
+            title="Figure 8c — SQLGraph mean query time vs memory",
+        ),
+    )
+    # paper shape: more memory helps until the working set fits, then the
+    # curve flattens ("neither ... showing any perceptible performance
+    # benefits when memory increased beyond 8G")
+    assert sweep_means[0] > sweep_means[-1] * 1.2
+    tail_delta = abs(sweep_means[-2] - sweep_means[-1]) / sweep_means[-1]
+    assert tail_delta < 0.35
+
+    benchmark(lambda: None)
+
+
+def test_fig8d_summary(benchmark, all_stores, dbpedia_data):
+    bench_queries = dbpedia.benchmark_queries(dbpedia_data)
+    path_queries = dbpedia.path_queries(dbpedia_data)
+    bench_results = _time_stores(all_stores, bench_queries)
+    path_results = _time_stores(all_stores, path_queries)
+    rows = []
+    for name, __ in all_stores:
+        rows.append([
+            name,
+            milliseconds(statistics.fmean(bench_results[name])),
+            milliseconds(statistics.fmean(path_results[name])),
+        ])
+    sql_bench = statistics.fmean(bench_results["sqlgraph"])
+    sql_path = statistics.fmean(path_results["sqlgraph"])
+    for name, __ in all_stores[1:]:
+        rows.append([
+            f"{name} / sqlgraph",
+            statistics.fmean(bench_results[name]) / sql_bench,
+            statistics.fmean(path_results[name]) / sql_path,
+        ])
+    record(
+        "fig8d_summary",
+        format_table(
+            ["system", "benchmark mean (ms)", "path mean (ms)"],
+            rows,
+            title="Figure 8d — DBpedia performance summary",
+        ),
+    )
+    benchmark(lambda: all_stores[0][1].run("g.V.count()"))

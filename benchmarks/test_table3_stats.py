@@ -1,0 +1,55 @@
+"""Experiment E3 — paper Table 3: hash-table characteristics.
+
+Reports, for the vertex-attribute hash table and both adjacency hash
+tables: number of hashed labels/keys, average bucket size, spill-row
+percentage, long-string rows and multi-value rows.
+
+Paper shape: the *attribute* hash table has markedly more spills, long
+strings and multi-values than the adjacency tables (which is why the final
+schema stores attributes as JSON but adjacency shredded).
+"""
+
+from benchmarks.conftest import record
+from repro.baselines.schemas import HashAttributeTable
+from repro.bench.reporting import format_table
+from repro.core import SQLGraphStore
+
+
+def test_table3_hash_table_stats(benchmark, dbpedia_data):
+    store = SQLGraphStore()
+    load_report = store.load_graph(dbpedia_data.graph)
+
+    # the paper fits the coloring on a sample and overloads columns heavily
+    # (53K labels over ~500 columns); capping columns recreates the same
+    # pressure at our scale
+    attr_table = HashAttributeTable(max_columns=8)
+    attr_table.load_graph(dbpedia_data.graph)
+    attr_stats = attr_table.stats
+
+    rows = [
+        ["hashed labels/keys", attr_stats.hashed_keys,
+         load_report.out.hashed_labels, load_report.incoming.hashed_labels],
+        ["hashed bucket size", round(attr_stats.bucket_size, 2),
+         round(load_report.out.bucket_size, 2),
+         round(load_report.incoming.bucket_size, 2)],
+        ["spill rows %", round(attr_stats.spill_percentage, 2),
+         round(load_report.out.spill_percentage, 2),
+         round(load_report.incoming.spill_percentage, 2)],
+        ["long string rows", attr_stats.long_string_rows, "n/a", "n/a"],
+        ["multi-value rows", attr_stats.multi_value_rows,
+         load_report.out.multi_value_rows,
+         load_report.incoming.multi_value_rows],
+    ]
+    record(
+        "table3_stats",
+        format_table(
+            ["statistic", "vertex attr hash", "outgoing adjacency",
+             "incoming adjacency"],
+            rows,
+            title="Table 3 — hash table characteristics",
+        ),
+    )
+    # paper shape: attributes spill more than adjacency
+    assert attr_stats.spill_percentage >= load_report.out.spill_percentage
+
+    benchmark(lambda: store.table_stats())

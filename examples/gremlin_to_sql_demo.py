@@ -1,0 +1,52 @@
+"""A tour of the Gremlin → SQL translator (paper §4, Table 8).
+
+Shows, for each supported pipe family, the exact single SQL statement the
+translator emits — including the paper's own running example
+``g.V.filter{it.tag=='w'}.both.dedup().count()`` (Figure 7).
+
+Run with: ``python examples/gremlin_to_sql_demo.py``
+"""
+
+from repro.core import SQLGraphStore
+from repro.datasets.tinker import paper_figure_graph
+
+SHOWCASE = [
+    ("the paper's Figure 7 example",
+     "g.V.filter{it.tag=='w'}.both.dedup().count()"),
+    ("GraphQuery merge: filters fold into the start CTE",
+     "g.V.has('age', T.gt, 28).has('name').name"),
+    ("single-step traversals use the redundant EA table",
+     "g.v(1).out('knows')"),
+    ("multi-step traversals use the hash adjacency tables + OSA join",
+     "g.v(1).out.out"),
+    ("path tracking threads a path column through every CTE",
+     "g.v(1).out.out.path"),
+    ("back() rewinds using ELEMENT_AT/PATH_PREFIX over the path",
+     "g.V.as('x').out('created').back('x').name"),
+    ("loops unroll to fixed depth",
+     "g.v(1).out.loop(1){it.loops < 3}.count()"),
+    ("aggregate/except become CTE snapshots + NOT IN",
+     "g.v(1).out.aggregate(x).out.except(x)"),
+    ("branch filters follow the paper's path[0] template",
+     "g.V.and(_().out('knows'), _().out('created')).name"),
+    ("ifThenElse value closures compile to CASE",
+     "g.V.ifThenElse{it.age != null}{it.age}{-1}"),
+]
+
+
+def main():
+    store = SQLGraphStore()
+    store.load_graph(paper_figure_graph())
+    for title, text in SHOWCASE:
+        print("=" * 72)
+        print(f"-- {title}")
+        print(f"gremlin> {text}")
+        print()
+        print(store.translate(text))
+        print()
+        print(f"result: {store.run(text)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""SQLGraph: an efficient relational-based property graph store.
+
+A reproduction of Sun et al., SIGMOD 2015.  The three entry points most
+users need:
+
+* :class:`repro.core.SQLGraphStore` — the property graph store (load a
+  graph, run Gremlin, CRUD);
+* :class:`repro.graph.PropertyGraph` — the in-memory graph object model;
+* :class:`repro.relational.Database` — the underlying relational engine.
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured evaluation record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

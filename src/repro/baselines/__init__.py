@@ -1,0 +1,22 @@
+"""Baseline graph stores and alternative schemas.
+
+The paper compares SQLGraph against Titan(BerkeleyDB), Neo4j and OrientDB —
+closed JVM servers we cannot run here.  We reproduce their *architecture*
+instead, because the architecture is what the paper credits for the
+performance gap:
+
+* :mod:`repro.baselines.native` — a Neo4j-like native in-memory adjacency
+  store evaluating Gremlin pipe-at-a-time through Blueprints calls;
+* :mod:`repro.baselines.kv` — a Titan/BerkeleyDB-like store over a sorted
+  key-value map with per-read deserialization;
+* :mod:`repro.baselines.latency` — the simulated client/server round-trip
+  model both baselines (and SQLGraph, once per request) charge;
+* :mod:`repro.baselines.schemas` — the alternative schemas of the §3
+  micro-benchmarks (JSON adjacency, hash-shredded attributes).
+"""
+
+from repro.baselines.kv import KVGraphStore
+from repro.baselines.latency import ClientServerLink
+from repro.baselines.native import NativeGraphStore
+
+__all__ = ["ClientServerLink", "KVGraphStore", "NativeGraphStore"]

@@ -1,0 +1,103 @@
+"""Simulated client/server communication cost.
+
+The paper's query-processing argument (§4.2): implementing Blueprints over a
+server means one request/response per primitive graph operation, a "chatty
+protocol" with "multiple trips between the client code and the graph
+database server".  SQLGraph pays one round trip per *query*; pipe-at-a-time
+stores pay one per *step per element*.
+
+:class:`ClientServerLink` charges that cost either as real wall-clock sleep
+(for throughput/concurrency experiments — sleeping releases the GIL, so
+multi-requester behaviour is realistic) or as pure accounting (for fast
+unit tests and call-count assertions).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class ClientServerLink:
+    """Tracks (and optionally pays) per-request communication cost.
+
+    :param rtt_seconds: cost of one round trip.
+    :param sleep: when True, actually sleep ``rtt_seconds`` per call;
+        when False, only account for it in ``simulated_seconds``.
+    """
+
+    #: sleeps shorter than this are batched (OS sleep granularity would
+    #: otherwise overcharge sub-100µs costs)
+    MIN_SLEEP = 0.0005
+
+    def __init__(self, rtt_seconds=0.0, sleep=False):
+        self.rtt_seconds = rtt_seconds
+        self.sleep = sleep
+        self._lock = threading.Lock()
+        self._debt = threading.local()
+        self.calls = 0
+        self.simulated_seconds = 0.0
+
+    def round_trip(self, count=1):
+        with self._lock:
+            self.calls += count
+            self.simulated_seconds += self.rtt_seconds * count
+        if self.sleep and self.rtt_seconds > 0:
+            debt = getattr(self._debt, "value", 0.0) + self.rtt_seconds * count
+            if debt >= self.MIN_SLEEP:
+                time.sleep(debt)
+                debt = 0.0
+            self._debt.value = debt
+
+    def reset(self):
+        with self._lock:
+            self.calls = 0
+            self.simulated_seconds = 0.0
+
+    def snapshot(self):
+        with self._lock:
+            return {"calls": self.calls, "seconds": self.simulated_seconds}
+
+
+LOCALHOST_RTT = 0.0002
+"""Default localhost HTTP round trip (~200µs), matching the paper's setup of
+clients talking to a server on localhost."""
+
+
+class ServerGate:
+    """A request-processing gate: limited workers + per-request service time.
+
+    Models the JVM/Rexster side of the baselines in the LinkBench workload:
+    each CRUD request is an HTTP call whose Gremlin payload is evaluated by
+    a small server worker pool, paying script-evaluation/session overhead.
+    The gate is held while the request is processed, so offered load beyond
+    ``workers`` queues — reproducing the flat throughput curves of paper
+    Figure 9 and the sub-second per-op latencies of Tables 6/7.
+    """
+
+    def __init__(self, workers=2, service_seconds=0.0):
+        self.workers = workers
+        self.service_seconds = service_seconds
+        self._semaphore = threading.Semaphore(workers)
+
+    def __enter__(self):
+        self._semaphore.acquire()
+        if self.service_seconds > 0:
+            time.sleep(self.service_seconds)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._semaphore.release()
+        return False
+
+
+class GatedAdapter:
+    """Wrap a LinkBench adapter so every operation passes a ServerGate."""
+
+    def __init__(self, adapter, gate):
+        self.adapter = adapter
+        self.gate = gate
+
+    def execute(self, operation):
+        with self.gate:
+            self.adapter.execute(operation)

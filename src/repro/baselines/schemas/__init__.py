@@ -1,0 +1,16 @@
+"""Alternative storage schemas for the §3 micro-benchmarks.
+
+* :mod:`repro.baselines.schemas.json_adjacency` — the whole adjacency list
+  of each vertex as one JSON document (Figure 2c), the losing arm of the
+  adjacency micro-benchmark (Figure 3);
+* :mod:`repro.baselines.schemas.hash_attributes` — vertex attributes
+  shredded into a coloring-hashed relational table with long-string and
+  multi-value overflow tables (Figure 2d), the losing arm of the attribute
+  lookup micro-benchmark (Figure 4) and the source of the Table 3 spill
+  statistics.
+"""
+
+from repro.baselines.schemas.hash_attributes import HashAttributeTable
+from repro.baselines.schemas.json_adjacency import JsonAdjacencyStore
+
+__all__ = ["HashAttributeTable", "JsonAdjacencyStore"]

@@ -1,0 +1,154 @@
+"""Interactive SQLGraph shell.
+
+Usage::
+
+    python -m repro.cli --dataset tinker
+    python -m repro.cli --dataset dbpedia --scale 0.5
+    python -m repro.cli --dataset linkbench --query "g.V.count()"
+
+Inside the shell, plain input is a Gremlin query; commands start with a
+colon::
+
+    sqlgraph> g.V.has('age', T.gt, 28).name
+    sqlgraph> :translate g.v(1).out.out     -- show the generated SQL
+    sqlgraph> :explain g.v(1).out.out       -- show the engine's plan
+    sqlgraph> :sql SELECT COUNT(*) FROM ea  -- raw SQL escape hatch
+    sqlgraph> :stats                        -- table sizes + load report
+    sqlgraph> :quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import SQLGraphStore
+from repro.datasets import dbpedia, linkbench
+from repro.datasets.tinker import paper_figure_graph, tinkerpop_classic
+
+
+def build_store(dataset, scale=1.0):
+    """Create a SQLGraphStore loaded with the named dataset."""
+    if dataset == "tinker":
+        graph = paper_figure_graph()
+    elif dataset == "classic":
+        graph = tinkerpop_classic()
+    elif dataset == "dbpedia":
+        config = dbpedia.DBpediaConfig(
+            places=max(1, int(2000 * scale)),
+            players=max(1, int(1200 * scale)),
+            teams=max(1, int(60 * scale)),
+            persons=max(1, int(300 * scale)),
+            artists=max(1, int(200 * scale)),
+        )
+        graph = dbpedia.generate(config).graph
+    elif dataset == "linkbench":
+        config = linkbench.LinkBenchConfig(nodes=max(1, int(5000 * scale)))
+        graph = linkbench.build_graph(config).graph
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+    store = SQLGraphStore()
+    store.load_graph(graph)
+    return store
+
+
+def execute_line(store, line):
+    """Execute one shell line; returns the output text (no trailing \\n).
+
+    Raises SystemExit on :quit.
+    """
+    line = line.strip()
+    if not line:
+        return ""
+    if line.startswith(":"):
+        return _execute_command(store, line)
+    values = store.run(line)
+    lines = [repr(value) for value in values[:50]]
+    if len(values) > 50:
+        lines.append(f"... ({len(values)} results total)")
+    elif not values:
+        lines.append("(no results)")
+    return "\n".join(lines)
+
+
+def _execute_command(store, line):
+    command, __, argument = line.partition(" ")
+    argument = argument.strip()
+    if command in (":quit", ":q", ":exit"):
+        raise SystemExit(0)
+    if command == ":translate":
+        return store.translate(argument)
+    if command == ":explain":
+        sql = store.translate(argument)
+        result = store.database.execute("EXPLAIN " + sql)
+        return "\n".join(row[0] for row in result.rows)
+    if command == ":sql":
+        result = store.database.execute(argument)
+        if result.columns:
+            header = " | ".join(result.columns)
+            body = "\n".join(
+                " | ".join(str(value) for value in row)
+                for row in result.rows[:50]
+            )
+            return f"{header}\n{body}" if body else header
+        return f"ok ({result.rowcount} rows affected)"
+    if command == ":stats":
+        stats = store.table_stats()
+        lines = [f"{name:6} {count:>10} rows" for name, count in
+                 sorted(stats["rows"].items())]
+        report = stats["load"]
+        lines.append(
+            f"loaded {report.vertex_count} vertices / "
+            f"{report.edge_count} edges; out spill "
+            f"{report.out.spill_percentage:.2f}%, in spill "
+            f"{report.incoming.spill_percentage:.2f}%"
+        )
+        return "\n".join(lines)
+    if command == ":help":
+        return __doc__.strip()
+    return f"unknown command {command!r} (try :help)"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="SQLGraph interactive shell")
+    parser.add_argument(
+        "--dataset", default="tinker",
+        choices=["tinker", "classic", "dbpedia", "linkbench"],
+        help="graph to load at startup",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier for dbpedia/linkbench",
+    )
+    parser.add_argument(
+        "--query", default=None,
+        help="run one Gremlin query and exit",
+    )
+    args = parser.parse_args(argv)
+
+    store = build_store(args.dataset, args.scale)
+    if args.query is not None:
+        print(execute_line(store, args.query))
+        return 0
+
+    print(f"SQLGraph shell — dataset {args.dataset!r} "
+          f"({store.vertex_count()} vertices, {store.edge_count()} edges)")
+    print("enter Gremlin, or :help for commands")
+    while True:
+        try:
+            line = input("sqlgraph> ")
+        except EOFError:
+            print()
+            return 0
+        try:
+            output = execute_line(store, line)
+        except SystemExit:
+            return 0
+        except Exception as exc:  # surface, keep the shell alive
+            output = f"error: {type(exc).__name__}: {exc}"
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""SQLGraph: the paper's contribution.
+
+* :mod:`repro.core.coloring` — the label co-occurrence graph coloring that
+  hashes edge labels to column triads (paper §3.2, after Bornea et al.);
+* :mod:`repro.core.schema` — the hybrid relational/JSON schema of Figure 5
+  (OPA/OSA/IPA/ISA adjacency + VA/EA JSON attribute tables);
+* :mod:`repro.core.loader` — bulk loading a property graph into the schema;
+* :mod:`repro.core.translator` — Gremlin → single-SQL translation (§4,
+  Table 8 templates, GraphQuery/VertexQuery merging, loop unrolling);
+* :mod:`repro.core.procedures` — CRUD stored procedures with the
+  negative-id lazy-delete optimization (§4.5.2);
+* :mod:`repro.core.store` — the :class:`SQLGraphStore` facade.
+"""
+
+from repro.core.store import SQLGraphStore
+
+__all__ = ["SQLGraphStore"]

@@ -1,0 +1,124 @@
+"""The hybrid SQLGraph schema (paper Figure 5).
+
+Six tables:
+
+========  ==========================================================
+OPA       outgoing primary adjacency: ``vid, spill, (eid_i, lbl_i,
+          val_i) * n_out`` — one row per vertex unless spills occur
+OSA       outgoing secondary adjacency: ``valid, eid, val`` for
+          multi-valued labels (``valid`` holds the ``lid:<n>`` marker)
+IPA/ISA   the incoming mirrors
+VA        vertex attributes: ``vid (pk), attr JSON``
+EA        edge attributes + a redundant copy of the edge triple:
+          ``eid (pk), outv, inv, lbl, attr JSON``
+========  ==========================================================
+
+Naming note: we follow the TinkerPop/Blueprints convention — ``outv`` is the
+source (the vertex the edge goes *out* of) and ``inv`` the target.  The
+paper's Figure 5 sample uses the opposite reading; the semantics here are
+differential-tested against the reference interpreter, so the convention is
+pinned by tests rather than by the figure.
+
+Multi-valued labels store a ``lid:<n>`` marker string in the VAL column and
+a NULL EID; the marker joins to OSA/ISA rows carrying the individual
+``(eid, val)`` pairs, which is exactly what the paper's
+``LEFT OUTER JOIN ... COALESCE(s.val, p.val)`` template resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SQLGraphSchema:
+    """Column layout + DDL for one SQLGraph instance."""
+
+    out_columns: int
+    in_columns: int
+    prefix: str = ""
+    table_names: dict = field(init=False)
+
+    def __post_init__(self):
+        prefix = self.prefix
+        self.table_names = {
+            "opa": f"{prefix}opa",
+            "osa": f"{prefix}osa",
+            "ipa": f"{prefix}ipa",
+            "isa": f"{prefix}isa",
+            "va": f"{prefix}va",
+            "ea": f"{prefix}ea",
+        }
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def ddl_statements(self):
+        """All CREATE TABLE / CREATE INDEX statements for the schema."""
+        names = self.table_names
+        statements = [
+            self._adjacency_ddl(names["opa"], self.out_columns),
+            f"CREATE TABLE {names['osa']} (valid STRING, eid INTEGER, "
+            "val INTEGER)",
+            self._adjacency_ddl(names["ipa"], self.in_columns),
+            f"CREATE TABLE {names['isa']} (valid STRING, eid INTEGER, "
+            "val INTEGER)",
+            f"CREATE TABLE {names['va']} (vid INTEGER PRIMARY KEY, attr JSON)",
+            f"CREATE TABLE {names['ea']} (eid INTEGER PRIMARY KEY, "
+            "outv INTEGER, inv INTEGER, lbl STRING, attr JSON)",
+            # id indexes for the join templates
+            f"CREATE INDEX {names['opa']}_vid ON {names['opa']} (vid)",
+            f"CREATE INDEX {names['ipa']}_vid ON {names['ipa']} (vid)",
+            f"CREATE INDEX {names['osa']}_valid ON {names['osa']} (valid)",
+            f"CREATE INDEX {names['isa']}_valid ON {names['isa']} (valid)",
+            # the SP/OP-style indexes of the paper: OUTV+LBL and INV+LBL are
+            # approximated by single-column hash indexes + residual label
+            # filters (the engine's planner applies the residual)
+            f"CREATE INDEX {names['ea']}_outv ON {names['ea']} (outv)",
+            f"CREATE INDEX {names['ea']}_inv ON {names['ea']} (inv)",
+            f"CREATE INDEX {names['ea']}_lbl ON {names['ea']} (lbl)",
+        ]
+        return statements
+
+    def _adjacency_ddl(self, table_name, triads):
+        columns = ["vid INTEGER", "spill INTEGER"]
+        for i in range(triads):
+            columns.append(f"eid{i} INTEGER")
+            columns.append(f"lbl{i} STRING")
+            columns.append(f"val{i} ANY")
+        return f"CREATE TABLE {table_name} ({', '.join(columns)})"
+
+    # ------------------------------------------------------------------
+    # helpers used by loader / procedures / translator
+    # ------------------------------------------------------------------
+    def adjacency_row_width(self, direction):
+        triads = self.out_columns if direction == "out" else self.in_columns
+        return 2 + 3 * triads
+
+    def triad_positions(self, column):
+        """(eid, lbl, val) tuple positions of triad *column* in an
+        adjacency row (vid at 0, spill at 1)."""
+        base = 2 + 3 * column
+        return base, base + 1, base + 2
+
+    def unnest_triples_sql(self, alias, direction):
+        """The lateral ``TABLE(VALUES ...)`` fragment enumerating all triads
+        of adjacency-table alias *alias* as ``t(eid, lbl, val)`` rows."""
+        triads = self.out_columns if direction == "out" else self.in_columns
+        rows = ", ".join(
+            f"({alias}.eid{i}, {alias}.lbl{i}, {alias}.val{i})"
+            for i in range(triads)
+        )
+        return f"TABLE(VALUES {rows}) AS t(eid, lbl, val)"
+
+
+def attribute_index_ddl(schema, element, key, sorted_index=False):
+    """DDL for a user index over a JSON attribute (paper §3.4: "depending on
+    the workloads ... more relational and JSON indexes can be built")."""
+    table = schema.table_names["va" if element == "vertex" else "ea"]
+    method = "sorted" if sorted_index else "hash"
+    safe = "".join(ch if ch.isalnum() else "_" for ch in key)
+    return (
+        f"CREATE INDEX {table}_attr_{safe} ON {table} "
+        f"(JSON_VAL(attr, '{key}')) USING {method}"
+    )

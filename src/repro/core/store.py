@@ -1,0 +1,346 @@
+"""The SQLGraph store facade.
+
+:class:`SQLGraphStore` glues the pieces together:
+
+* load a property graph with :class:`~repro.core.loader.SQLGraphLoader`;
+* answer whole Gremlin queries by translating them to one SQL statement
+  (``query`` / ``run`` / ``translate``);
+* expose Blueprints-style CRUD through the update stored procedures;
+* optionally charge a simulated client/server round trip per *request*
+  (one per query / CRUD call — the architectural contrast with the
+  pipe-at-a-time baselines, which pay one round trip per traversal step
+  per element).
+"""
+
+from __future__ import annotations
+
+from repro.core.loader import SQLGraphLoader
+from repro.core.procedures import GraphProcedures
+from repro.core.schema import attribute_index_ddl
+from repro.core.translator import GremlinTranslator
+from repro.graph.blueprints import Direction, GraphInterface
+from repro.gremlin.parser import parse_gremlin
+from repro.relational.database import Database
+
+
+class SQLGraphStore(GraphInterface):
+    """A property-graph store over the relational engine.
+
+    :param buffer_pool_pages: buffer pool size (``None`` = unbounded).
+    :param max_columns: cap on adjacency column triads.
+    :param client: optional latency model charged once per request
+        (:class:`repro.baselines.latency.ClientServerLink`).
+    """
+
+    def __init__(self, buffer_pool_pages=None, max_columns=None, client=None,
+                 planner_options=None):
+        self.database = Database(
+            buffer_pool_pages, planner_options=planner_options
+        )
+        self.max_columns = max_columns
+        self.client = client
+        self.schema = None
+        self.loader = None
+        self.translator = None
+        self.procedures = None
+        self._next_vertex_id = 1
+        self._next_edge_id = 1
+        self._attribute_indexes = []  # (element, key, sorted_index)
+        self.queries_translated = 0
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_graph(self, graph, sample_limit=None):
+        """Bulk-load *graph*; returns the loader's
+        :class:`~repro.core.loader.LoadReport`."""
+        self.loader = SQLGraphLoader(
+            self.database, self.max_columns, sample_limit
+        )
+        self.schema = self.loader.load(graph)
+        self.translator = GremlinTranslator(self.schema)
+        self.procedures = GraphProcedures(
+            self.database,
+            self.schema,
+            self.loader.out_coloring,
+            self.loader.in_coloring,
+            lid_start=self.loader._next_lid,
+        )
+        vertex_ids = [vertex.id for vertex in graph.vertices()]
+        edge_ids = [edge.id for edge in graph.edges()]
+        self._next_vertex_id = max(vertex_ids, default=0) + 1
+        self._next_edge_id = max(edge_ids, default=0) + 1
+        return self.loader.report
+
+    def create_attribute_index(self, element, key, sorted_index=False):
+        """Add a user index over a JSON attribute (paper §3.4)."""
+        self.database.execute(
+            attribute_index_ddl(self.schema, element, key, sorted_index)
+        )
+        self._attribute_indexes.append((element, key, sorted_index))
+
+    def export_graph(self):
+        """Materialize the stored graph back into a PropertyGraph.
+
+        VA + EA together hold the full graph state (EA is the redundant
+        triple copy), so the export never touches the hash tables.  Edges
+        dangling from lazily-deleted vertices are skipped — this doubles as
+        the paper's "off-line cleanup process".
+        """
+        from repro.graph.model import PropertyGraph
+
+        names = self.schema.table_names
+        graph = PropertyGraph()
+        for vid, attrs in self.database.execute(
+            f"SELECT vid, attr FROM {names['va']} WHERE vid >= 0"
+        ).rows:
+            graph.add_vertex(vid, attrs)
+        for eid, outv, inv, lbl, attrs in self.database.execute(
+            f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+            "WHERE eid >= 0"
+        ).rows:
+            if graph.get_vertex(outv) is None or graph.get_vertex(inv) is None:
+                continue  # dangling edge to a lazily-deleted vertex
+            graph.add_edge(outv, inv, lbl, eid, attrs)
+        return graph
+
+    def reorganize(self):
+        """Re-fit the coloring hashes and rebuild the adjacency tables.
+
+        Paper §3.4: "if updates change substantially the basic
+        characteristics of the dataset on which the hashing functions were
+        derived, reorganization is required for efficient performance."
+        This extracts the current graph state, recolors, reloads, and
+        re-creates the user's attribute indexes.  Returns the fresh load
+        report.
+        """
+        graph = self.export_graph()
+        for table_name in self.schema.table_names.values():
+            self.database.execute(f"DROP TABLE IF EXISTS {table_name}")
+        attribute_indexes = list(self._attribute_indexes)
+        self._attribute_indexes = []
+        report = self.load_graph(graph)
+        for element, key, sorted_index in attribute_indexes:
+            self.create_attribute_index(element, key, sorted_index)
+        return report
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def translate(self, gremlin_text):
+        """Gremlin text → the single SQL statement that answers it."""
+        query = parse_gremlin(gremlin_text)
+        self.queries_translated += 1
+        return self.translator.translate(query)
+
+    def query(self, gremlin_text):
+        """Run a Gremlin query; returns the engine ResultSet."""
+        sql = self.translate(gremlin_text)
+        self._charge_round_trip()
+        return self.database.execute(sql)
+
+    def run(self, gremlin_text):
+        """Run a Gremlin query; returns the list of result values."""
+        result = self.query(gremlin_text)
+        position = result.columns.index("val")
+        return [row[position] for row in result.rows]
+
+    def execute_sql(self, sql, params=None):
+        """Escape hatch: raw SQL against the underlying engine."""
+        self._charge_round_trip()
+        return self.database.execute(sql, params)
+
+    def _charge_round_trip(self):
+        if self.client is not None:
+            self.client.round_trip()
+
+    # ------------------------------------------------------------------
+    # Blueprints-style CRUD (one round trip per call)
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex_id=None, properties=None):
+        if vertex_id is None:
+            vertex_id = self._next_vertex_id
+        self._next_vertex_id = max(self._next_vertex_id, vertex_id + 1)
+        self._charge_round_trip()
+        self.procedures.add_vertex(vertex_id, properties)
+        return vertex_id
+
+    def add_edge(self, out_vertex_id, in_vertex_id, label, edge_id=None,
+                 properties=None):
+        if edge_id is None:
+            edge_id = self._next_edge_id
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        self._charge_round_trip()
+        self.procedures.add_edge(
+            edge_id, out_vertex_id, in_vertex_id, label, properties
+        )
+        return edge_id
+
+    def get_vertex(self, vertex_id):
+        self._charge_round_trip()
+        properties = self.procedures.get_vertex_properties(vertex_id)
+        if properties is None:
+            return None
+        return SQLVertex(self, vertex_id, properties)
+
+    def get_edge(self, edge_id):
+        self._charge_round_trip()
+        row = self.procedures.get_edge_row(edge_id)
+        if row is None:
+            return None
+        return SQLEdge(self, *row)
+
+    def remove_vertex(self, vertex_id):
+        self._charge_round_trip()
+        return self.procedures.delete_vertex(vertex_id)
+
+    def remove_edge(self, edge_id):
+        self._charge_round_trip()
+        return self.procedures.delete_edge(edge_id)
+
+    def set_vertex_property(self, vertex_id, key, value):
+        self._charge_round_trip()
+        return self.procedures.update_vertex(vertex_id, {key: value})
+
+    def set_edge_property(self, edge_id, key, value):
+        self._charge_round_trip()
+        return self.procedures.update_edge(edge_id, {key: value})
+
+    def vertices(self):
+        self._charge_round_trip()
+        names = self.schema.table_names
+        result = self.database.execute(
+            f"SELECT vid, attr FROM {names['va']} WHERE vid >= 0"
+        )
+        return (SQLVertex(self, vid, attr) for vid, attr in result.rows)
+
+    def edges(self):
+        self._charge_round_trip()
+        names = self.schema.table_names
+        result = self.database.execute(
+            f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+            "WHERE eid >= 0"
+        )
+        return (SQLEdge(self, *row) for row in result.rows)
+
+    def vertex_count(self):
+        names = self.schema.table_names
+        return self.database.execute(
+            f"SELECT COUNT(*) FROM {names['va']} WHERE vid >= 0"
+        ).scalar()
+
+    def edge_count(self):
+        names = self.schema.table_names
+        return self.database.execute(
+            f"SELECT COUNT(*) FROM {names['ea']} WHERE eid >= 0"
+        ).scalar()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def table_stats(self):
+        """Row counts + loader statistics (paper Table 3 inputs)."""
+        stats = {}
+        for key, table_name in self.schema.table_names.items():
+            stats[key] = self.database.table(table_name).live_rows
+        return {"rows": stats, "load": self.loader.report}
+
+    def storage_bytes(self):
+        return self.database.storage_bytes()
+
+
+class SQLVertex:
+    """Lazy vertex handle: every accessor is a round trip to the store.
+
+    Used by the pipe-at-a-time ablation (running the reference interpreter
+    directly against SQLGraph's Blueprints methods, the architecture the
+    paper argues against in §4.2).
+    """
+
+    __slots__ = ("_store", "id", "properties")
+
+    def __init__(self, store, vertex_id, properties):
+        self._store = store
+        self.id = vertex_id
+        self.properties = properties or {}
+
+    def get_property(self, key, default=None):
+        return self.properties.get(key, default)
+
+    def vertices(self, direction, labels=()):
+        store = self._store
+        store._charge_round_trip()
+        names = store.schema.table_names
+        rows = []
+        label_list = list(labels)
+        label_cond = ""
+        params = []
+        if label_list:
+            placeholders = ", ".join("?" for __ in label_list)
+            label_cond = f" AND lbl IN ({placeholders})"
+        if direction in (Direction.OUT, Direction.BOTH):
+            rows += store.database.execute(
+                f"SELECT inv FROM {names['ea']} WHERE outv = ?{label_cond}",
+                [self.id] + label_list,
+            ).rows
+        if direction in (Direction.IN, Direction.BOTH):
+            rows += store.database.execute(
+                f"SELECT outv FROM {names['ea']} WHERE inv = ?{label_cond}",
+                [self.id] + label_list,
+            ).rows
+        del params
+        return [store.get_vertex(row[0]) for row in rows]
+
+    def edges(self, direction, labels=()):
+        store = self._store
+        store._charge_round_trip()
+        names = store.schema.table_names
+        label_list = list(labels)
+        label_cond = ""
+        if label_list:
+            placeholders = ", ".join("?" for __ in label_list)
+            label_cond = f" AND lbl IN ({placeholders})"
+        rows = []
+        if direction in (Direction.OUT, Direction.BOTH):
+            rows += store.database.execute(
+                f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+                f"WHERE outv = ?{label_cond}",
+                [self.id] + label_list,
+            ).rows
+        if direction in (Direction.IN, Direction.BOTH):
+            rows += store.database.execute(
+                f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+                f"WHERE inv = ?{label_cond}",
+                [self.id] + label_list,
+            ).rows
+        return [SQLEdge(store, *row) for row in rows]
+
+    def __repr__(self):
+        return f"SQLVertex({self.id})"
+
+
+class SQLEdge:
+    """Lazy edge handle mirroring :class:`SQLVertex`."""
+
+    __slots__ = ("_store", "id", "outv", "inv", "label", "properties")
+
+    def __init__(self, store, edge_id, outv, inv, label, properties):
+        self._store = store
+        self.id = edge_id
+        self.outv = outv
+        self.inv = inv
+        self.label = label
+        self.properties = properties or {}
+
+    def get_property(self, key, default=None):
+        return self.properties.get(key, default)
+
+    def vertex(self, direction):
+        if direction is Direction.OUT:
+            return self._store.get_vertex(self.outv)
+        if direction is Direction.IN:
+            return self._store.get_vertex(self.inv)
+        raise ValueError("edge endpoint requires OUT or IN")
+
+    def __repr__(self):
+        return f"SQLEdge({self.id}, {self.outv}-[{self.label}]->{self.inv})"

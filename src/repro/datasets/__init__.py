@@ -1,0 +1,16 @@
+"""Dataset and workload generators.
+
+* :mod:`repro.datasets.tinker` — the 4-vertex sample graph of paper
+  Figure 2a and the classic 6-vertex TinkerPop graph;
+* :mod:`repro.datasets.dbpedia` — a synthetic DBpedia-like property graph
+  (place hierarchy, soccer players/teams, typed literals, provenance edge
+  attributes) standing in for the DBpedia 3.8 dump;
+* :mod:`repro.datasets.linkbench` — a LinkBench-like social-graph generator
+  plus the request mix of paper Table 6;
+* :mod:`repro.datasets.random_graphs` — random property graphs for
+  differential / property-based testing.
+"""
+
+from repro.datasets.tinker import paper_figure_graph, tinkerpop_classic
+
+__all__ = ["paper_figure_graph", "tinkerpop_classic"]

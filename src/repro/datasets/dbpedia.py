@@ -1,0 +1,353 @@
+"""A synthetic DBpedia-like property graph (paper §3.1 substitution).
+
+The real evaluation uses DBpedia 3.8 converted to a property graph (quads'
+provenance becomes edge attributes, datatype properties become vertex
+attributes).  The dump is unavailable offline, so this generator produces a
+scaled-down graph with the *structural features the paper's queries
+exercise*:
+
+* a deep ``isPartOf`` place hierarchy (k-hop traversals up to 9 hops,
+  Table 1 / Figure 3 / Figure 6),
+* a dense bipartite ``team`` relation between soccer players and teams,
+  traversed ignoring direction,
+* ``rdf:type`` edges to class vertices with huge in-degree (exercising the
+  multi-value OSA/ISA tables),
+* skewed typed vertex attributes matching the selectivity axes of Table 2
+  (string vs numeric, exists vs value, selective vs not),
+* provenance attributes (``oldid``, ``section``, ``relative-line``) on
+  every edge, like the n-quad conversion in the paper.
+
+Input-size buckets for the traversal queries are marked with a ``tag``
+attribute whose values select fixed fractions of the place population.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.model import PropertyGraph
+
+SECTIONS = ("External_link", "Infobox", "Abstract", "Category", "Reference")
+
+
+@dataclass
+class DBpediaConfig:
+    """Scale knobs.  Defaults build a ~9k vertex / ~22k edge graph."""
+
+    places: int = 4000
+    players: int = 3000
+    teams: int = 150
+    persons: int = 800
+    artists: int = 600
+    depth: int = 12
+    seed: int = 7
+
+
+@dataclass
+class DBpediaGraph:
+    """The generated graph plus the id ranges queries need."""
+
+    graph: PropertyGraph
+    config: DBpediaConfig
+    type_ids: dict
+    place_ids: list
+    player_ids: list
+    team_ids: list
+    person_ids: list
+    artist_ids: list
+
+
+def generate(config=None):
+    """Build the synthetic DBpedia-like property graph."""
+    config = config or DBpediaConfig()
+    rng = random.Random(config.seed)
+    graph = PropertyGraph()
+    next_vertex = [1]
+    next_edge = [1]
+
+    def add_vertex(properties):
+        vertex_id = next_vertex[0]
+        next_vertex[0] += 1
+        graph.add_vertex(vertex_id, properties)
+        return vertex_id
+
+    def add_edge(src, dst, label):
+        edge_id = next_edge[0]
+        next_edge[0] += 1
+        graph.add_edge(
+            src, dst, label, edge_id,
+            {
+                "oldid": rng.randrange(10_000_000, 99_999_999),
+                "section": rng.choice(SECTIONS),
+                "relative-line": rng.randrange(1, 400),
+            },
+        )
+        return edge_id
+
+    # class vertices -----------------------------------------------------
+    type_ids = {}
+    for class_name in ("Place", "SoccerPlayer", "Team", "Person",
+                       "MusicalArtist", "Work"):
+        type_ids[class_name] = add_vertex(
+            {"uri": f"http://dbpedia.org/ontology/{class_name}"}
+        )
+
+    # places: a forest of isPartOf chains up to `depth` levels -----------
+    place_ids = []
+    levels: list[list[int]] = [[] for __ in range(config.depth)]
+    for i in range(config.places):
+        level = min(int(rng.expovariate(0.35)), config.depth - 1)
+        properties = {
+            "uri": f"http://dbpedia.org/resource/Place_{i}",
+            "label": f"Place {i}",
+            "wikiPageID": 1_000_000 + i,
+        }
+        # numeric attributes with controlled selectivity
+        if rng.random() < 0.6:
+            properties["populationDensitySqMi"] = (
+                100 if rng.random() < 0.002 else round(rng.uniform(1, 5000), 1)
+            )
+        if rng.random() < 0.5:
+            properties["longm"] = 1 if rng.random() < 0.004 else rng.randrange(
+                2, 180
+            )
+        if rng.random() < 0.06:
+            properties["regionAffiliation"] = (
+                "1958" if rng.random() < 0.02 else f"region-{rng.randrange(40)}"
+            )
+        if rng.random() < 0.03:
+            properties["national"] = (
+                f"anthem {i} en" if rng.random() < 0.9 else f"anthem {i} fr"
+            )
+        if rng.random() < 0.55:
+            suffix = "en" if rng.random() < 0.95 else "de"
+            properties["title"] = f"Title of place {i} {suffix}"
+        if rng.random() < 0.05:
+            # multilingual labels: a multi-valued attribute
+            properties["alias"] = [f"Place {i}", f"Lieu {i}", f"Ort {i}"]
+        if rng.random() < 0.15:
+            # abstracts are long strings (DBpedia's rdfs:comment style)
+            properties["abstract"] = (
+                f"Place {i} is a settlement known for its long history. "
+                * rng.randrange(2, 8)
+            )
+        # input-size buckets for the traversal queries
+        roll = rng.random()
+        if roll < 0.40:
+            properties["tag"] = "large"
+        elif roll < 0.43:
+            properties["tag"] = "mid"
+        elif roll < 0.433:
+            properties["tag"] = "small"
+        vertex_id = add_vertex(properties)
+        place_ids.append(vertex_id)
+        levels[level].append(vertex_id)
+        add_edge(vertex_id, type_ids["Place"], "rdf:type")
+    # isPartOf edges: every non-root level links to the level above
+    for level in range(1, config.depth):
+        for vertex_id in levels[level]:
+            parent_pool = None
+            for upper in range(level - 1, -1, -1):
+                if levels[upper]:
+                    parent_pool = levels[upper]
+                    break
+            if parent_pool:
+                add_edge(vertex_id, rng.choice(parent_pool), "isPartOf")
+
+    # teams and players ---------------------------------------------------
+    team_ids = []
+    for i in range(config.teams):
+        team_ids.append(
+            add_vertex(
+                {
+                    "uri": f"http://dbpedia.org/resource/Team_{i}",
+                    "label": f"Team {i}",
+                    "wikiPageID": 2_000_000 + i,
+                }
+            )
+        )
+        add_edge(team_ids[-1], type_ids["Team"], "rdf:type")
+    player_ids = []
+    for i in range(config.players):
+        properties = {
+            "uri": f"http://dbpedia.org/resource/Player_{i}",
+            "label": f"Player {i}",
+            "wikiPageID": 3_000_000 + i,
+        }
+        roll = rng.random()
+        if roll < 0.40:
+            properties["tag"] = "p_large"
+        elif roll < 0.43:
+            properties["tag"] = "p_mid"
+        elif roll < 0.433:
+            properties["tag"] = "p_small"
+        vertex_id = add_vertex(properties)
+        player_ids.append(vertex_id)
+        add_edge(vertex_id, type_ids["SoccerPlayer"], "rdf:type")
+        for __ in range(1 + min(int(rng.expovariate(0.8)), 4)):
+            add_edge(vertex_id, rng.choice(team_ids), "team")
+
+    # persons -------------------------------------------------------------
+    person_ids = []
+    for i in range(config.persons):
+        properties = {
+            "uri": f"http://dbpedia.org/resource/Person_{i}",
+            "label": f"Person {i} en",
+            "wikiPageID": 4_000_000 + i,
+        }
+        if rng.random() < 0.7:
+            properties["thumbnail"] = f"http://img.example/{i}.png"
+        if rng.random() < 0.8:
+            properties["pageurl"] = f"http://wiki.example/person_{i}"
+        if rng.random() < 0.4:
+            properties["homepage"] = f"http://home.example/{i}"
+        vertex_id = add_vertex(properties)
+        person_ids.append(vertex_id)
+        add_edge(vertex_id, type_ids["Person"], "rdf:type")
+
+    # musical artists / works (genre attributes for Table 2) --------------
+    artist_ids = []
+    for i in range(config.artists):
+        properties = {
+            "uri": f"http://dbpedia.org/resource/Artist_{i}",
+            "label": f"Artist {i}",
+            "wikiPageID": 5_000_000 + i,
+        }
+        if rng.random() < 0.8:
+            suffix = "en" if rng.random() < 0.93 else "es"
+            properties["genre"] = f"genre-{rng.randrange(25)} {suffix}"
+        vertex_id = add_vertex(properties)
+        artist_ids.append(vertex_id)
+        add_edge(vertex_id, type_ids["MusicalArtist"], "rdf:type")
+        if person_ids and rng.random() < 0.5:
+            add_edge(vertex_id, rng.choice(person_ids), "associatedAct")
+
+    return DBpediaGraph(
+        graph=graph,
+        config=config,
+        type_ids=type_ids,
+        place_ids=place_ids,
+        player_ids=player_ids,
+        team_ids=team_ids,
+        person_ids=person_ids,
+        artist_ids=artist_ids,
+    )
+
+
+# ----------------------------------------------------------------------
+# query sets
+# ----------------------------------------------------------------------
+def _khop(filter_step, step, hops, tail="count()"):
+    """k-hop reachability with a per-hop dedup (the loop section is
+    ``<step>.dedup``), which keeps frontiers set-sized in every engine."""
+    if hops <= 1:
+        return f"g.V.{filter_step}.{step}.dedup.{tail}"
+    return (
+        f"g.V.{filter_step}.{step}.dedup"
+        f".loop(2){{it.loops < {hops}}}.dedup.{tail}"
+    )
+
+
+def adjacency_queries(data):
+    """Paper Table 1: 11 traversal queries varying hops / input / result.
+
+    Returns ``(query_id, gremlin_text, meta)`` triples; the hop counts match
+    the paper's, input sizes scale with the generated graph.
+    """
+    first_player = data.player_ids[0]
+    queries = [
+        (1, _khop("has('tag','large')", "in('isPartOf')", 3), {"hops": 3}),
+        (2, _khop("has('tag','large')", "in('isPartOf')", 6), {"hops": 6}),
+        (3, _khop("has('tag','large')", "in('isPartOf')", 9), {"hops": 9}),
+        (4, _khop("has('tag','p_small')", "both('team')", 5), {"hops": 5}),
+        (5, _khop("has('tag','p_mid')", "both('team')", 5), {"hops": 5}),
+        (6, _khop("has('tag','p_large')", "both('team')", 5), {"hops": 5}),
+        (7, f"g.v({first_player}).both('team').dedup"
+            ".loop(2){it.loops < 4}.dedup.count()", {"hops": 4}),
+        (8, f"g.v({first_player}).both('team').dedup"
+            ".loop(2){it.loops < 6}.dedup.count()", {"hops": 6}),
+        (9, f"g.v({first_player}).both('team').dedup"
+            ".loop(2){it.loops < 8}.dedup.count()", {"hops": 8}),
+        (10, _khop("has('tag','p_small')", "both('team')", 6), {"hops": 6}),
+        (11, _khop("has('tag','p_mid')", "both('team')", 6), {"hops": 6}),
+    ]
+    return queries
+
+
+# Table 2: the 16 attribute-lookup queries.  Each spec is
+# (query_id, key, kind, argument) where kind is one of
+# 'exists' | 'like' | 'eq_string' | 'eq_number'.
+ATTRIBUTE_QUERIES = [
+    (1, "national", "exists", None),
+    (2, "national", "like", "%en"),
+    (3, "genre", "exists", None),
+    (4, "genre", "like", "%en"),
+    (5, "title", "exists", None),
+    (6, "title", "like", "%en"),
+    (7, "label", "exists", None),
+    (8, "label", "like", "%en"),
+    (9, "regionAffiliation", "exists", None),
+    (10, "regionAffiliation", "eq_string", "1958"),
+    (11, "populationDensitySqMi", "exists", None),
+    (12, "populationDensitySqMi", "eq_number", 100),
+    (13, "longm", "exists", None),
+    (14, "longm", "eq_number", 1),
+    (15, "wikiPageID", "exists", None),
+    (16, "wikiPageID", "eq_number", 3_000_000),
+]
+
+
+def benchmark_queries(data):
+    """Figure 8a: 20 DBpedia benchmark queries (SPARQL→Gremlin style).
+
+    Modeled on the Morsey et al. DBpedia SPARQL benchmark mix the paper
+    converts in Appendix B: selective URI start points, star lookups,
+    1-3 hop traversals, filters and unions.
+    """
+    person = "http://dbpedia.org/ontology/Person"
+    player = "http://dbpedia.org/ontology/SoccerPlayer"
+    place = "http://dbpedia.org/ontology/Place"
+    team = "http://dbpedia.org/ontology/Team"
+    artist = "http://dbpedia.org/ontology/MusicalArtist"
+    some_place = data.place_ids[0]
+    some_team = data.team_ids[0]
+    return [
+        (1, f"g.V('uri','{person}').in('rdf:type').count()"),
+        (2, f"g.V('uri','{person}').in('rdf:type')"
+            ".has('thumbnail').has('pageurl').count()"),
+        (3, f"g.V('uri','{person}').in('rdf:type').has('homepage').count()"),
+        (4, f"g.V('uri','{place}').in('rdf:type')"
+            ".has('populationDensitySqMi', T.gt, 4000).count()"),
+        (5, f"g.V('uri','{place}').in('rdf:type')"
+            ".filter{it.title.contains('en')}.count()"),
+        (6, f"g.V('uri','{player}').in('rdf:type').out('team').dedup().count()"),
+        (7, f"g.V('uri','{team}').in('rdf:type').in('team').dedup().count()"),
+        (8, f"g.v({some_team}).in('team').has('label').count()"),
+        (9, f"g.v({some_place}).out('isPartOf').out('isPartOf').count()"),
+        (10, f"g.v({some_place}).in('isPartOf').in('isPartOf').dedup().count()"),
+        (11, f"g.V('uri','{artist}').in('rdf:type')"
+             ".has('genre').out('associatedAct').dedup().count()"),
+        (12, f"g.V('uri','{artist}').in('rdf:type')"
+             ".filter{it.genre.contains('en')}.count()"),
+        (13, "g.V.has('regionAffiliation','1958').count()"),
+        (14, "g.V.has('longm', T.lte, 5).out('rdf:type').dedup().count()"),
+        (15, f"g.V('uri','{place}').in('rdf:type').as('x')"
+             ".out('isPartOf').has('tag','large').back('x').dedup().count()"),
+        (16, f"g.V('uri','{player}').in('rdf:type')"
+             ".out('team').in('team').dedup().count()"),
+        (17, "g.V.has('wikiPageID', T.lt, 1000100).out('rdf:type').count()"),
+        (18, f"g.V('uri','{person}').in('rdf:type')"
+             ".or(_().has('homepage'), _().has('thumbnail')).count()"),
+        (19, f"g.v({some_place}).both('isPartOf').dedup().count()"),
+        (20, f"g.V('uri','{team}').in('rdf:type').as('t').in('team')"
+             ".has('label').back('t').dedup().count()"),
+    ]
+
+
+def path_queries(data):
+    """Figure 8b / Figure 6: the 11 long-path queries (lq1-lq11)."""
+    return [
+        (f"lq{qid}", text)
+        for qid, text, __meta in adjacency_queries(data)
+    ]

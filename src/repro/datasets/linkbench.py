@@ -1,0 +1,295 @@
+"""LinkBench-like social-graph workload (paper §5.2 substitution).
+
+LinkBench generates synthetic data modeled on Facebook's production social
+graph: "objects" (nodes with type/version/time/data attributes) and
+"associations" (typed, timestamped edges with payloads), plus a request mix
+dominated by ``get_link_list``.  The paper maps objects to vertices and
+associations to edges; we do the same.
+
+This module provides:
+
+* :func:`build_graph` — a power-law social graph at a given node scale;
+* :data:`OPERATION_MIX` — the CRUD distribution of paper Table 6;
+* :class:`RequestGenerator` — an infinite stream of operations;
+* adapters running those operations against SQLGraph (one request = one
+  SQL statement / stored procedure) and against Blueprints stores (one
+  request = a pipe-at-a-time interpreter run or primitive calls).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.graph.blueprints import Direction
+from repro.graph.model import PropertyGraph
+
+NODE_TYPES = ("user", "post", "comment", "page")
+ASSOC_TYPES = ("friend", "like", "comment", "follow", "authored")
+
+# paper Table 6, "Query Disbn" column
+OPERATION_MIX = [
+    ("add_node", 0.026),
+    ("update_node", 0.074),
+    ("delete_node", 0.010),
+    ("get_node", 0.129),
+    ("add_link", 0.090),
+    ("delete_link", 0.030),
+    ("update_link", 0.080),
+    ("count_link", 0.049),
+    ("multiget_link", 0.005),
+    ("get_link_list", 0.507),
+]
+
+
+@dataclass
+class LinkBenchConfig:
+    nodes: int = 10_000
+    mean_degree: float = 4.0
+    payload_bytes: int = 96
+    seed: int = 11
+
+
+@dataclass
+class LinkBenchGraph:
+    graph: PropertyGraph
+    config: LinkBenchConfig
+    node_ids: list
+    edge_ids: list
+
+
+def _payload(rng, size):
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for __ in range(size))
+
+
+def build_graph(config=None):
+    """Generate a LinkBench-like social graph."""
+    config = config or LinkBenchConfig()
+    rng = random.Random(config.seed)
+    graph = PropertyGraph()
+    node_ids = []
+    for i in range(1, config.nodes + 1):
+        graph.add_vertex(
+            i,
+            {
+                "type": rng.choices(NODE_TYPES, weights=(4, 3, 2, 1))[0],
+                "version": 1,
+                "time": 1_300_000_000 + i,
+                "data": _payload(rng, config.payload_bytes),
+            },
+        )
+        node_ids.append(i)
+    edge_ids = []
+    next_edge = config.nodes + 1
+    target_edges = int(config.nodes * config.mean_degree)
+    # power-law out-degree: a few hubs, a long tail
+    weights = [1.0 / (rank + 1) ** 0.6 for rank in range(config.nodes)]
+    while len(edge_ids) < target_edges:
+        src = rng.choices(node_ids, weights=weights)[0]
+        dst = rng.choice(node_ids)
+        if src == dst:
+            continue
+        graph.add_edge(
+            src, dst, rng.choice(ASSOC_TYPES), next_edge,
+            {
+                "visibility": 1,
+                "timestamp": 1_300_000_000 + len(edge_ids),
+                "data": _payload(rng, config.payload_bytes // 2),
+            },
+        )
+        edge_ids.append(next_edge)
+        next_edge += 1
+    return LinkBenchGraph(graph, config, node_ids, edge_ids)
+
+
+class RequestGenerator:
+    """Yields LinkBench operations following :data:`OPERATION_MIX`.
+
+    Each requester thread gets its own generator (distinct seed and private
+    id range for newly created nodes/edges, so generators never collide on
+    allocation while still sharing reads on the common graph).
+    """
+
+    def __init__(self, data, seed=0, requester_id=0):
+        self._rng = random.Random((seed << 8) | requester_id)
+        self._node_ids = list(data.node_ids)
+        self._edge_ids = list(data.edge_ids)
+        base = 10_000_000 * (requester_id + 1)
+        self._next_node = base
+        self._next_edge = base + 5_000_000
+        names = [name for name, __ in OPERATION_MIX]
+        weights = [weight for __, weight in OPERATION_MIX]
+        self._names = names
+        self._weights = weights
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        rng = self._rng
+        name = rng.choices(self._names, weights=self._weights)[0]
+        if name == "add_node":
+            self._next_node += 1
+            return (name, {
+                "id": self._next_node,
+                "properties": {
+                    "type": rng.choice(NODE_TYPES),
+                    "version": 1,
+                    "time": 1_400_000_000,
+                    "data": _payload(rng, 64),
+                },
+            })
+        if name == "update_node":
+            return (name, {
+                "id": rng.choice(self._node_ids),
+                "key": "data",
+                "value": _payload(rng, 64),
+            })
+        if name == "delete_node":
+            self._next_node += 1
+            # delete a node this generator created (or a random one rarely)
+            return (name, {"id": rng.choice(self._node_ids)})
+        if name == "get_node":
+            return (name, {"id": rng.choice(self._node_ids)})
+        if name == "add_link":
+            self._next_edge += 1
+            return (name, {
+                "id": self._next_edge,
+                "src": rng.choice(self._node_ids),
+                "dst": rng.choice(self._node_ids),
+                "type": rng.choice(ASSOC_TYPES),
+                "properties": {
+                    "visibility": 1,
+                    "timestamp": 1_400_000_000,
+                    "data": _payload(rng, 32),
+                },
+            })
+        if name == "delete_link":
+            return (name, {"id": rng.choice(self._edge_ids)})
+        if name == "update_link":
+            return (name, {
+                "id": rng.choice(self._edge_ids),
+                "key": "data",
+                "value": _payload(rng, 32),
+            })
+        if name == "count_link":
+            return (name, {
+                "id": rng.choice(self._node_ids),
+                "type": rng.choice(ASSOC_TYPES),
+            })
+        if name == "multiget_link":
+            return (name, {
+                "ids": [rng.choice(self._edge_ids) for __ in range(3)],
+            })
+        return ("get_link_list", {
+            "id": rng.choice(self._node_ids),
+            "type": rng.choice(ASSOC_TYPES),
+        })
+
+
+class SQLGraphLinkBench:
+    """LinkBench operations against a SQLGraphStore.
+
+    Reads are single translated SQL statements; writes are the update
+    stored procedures.  Every operation is exactly one round trip.
+    """
+
+    def __init__(self, store):
+        self.store = store
+
+    def execute(self, operation):
+        name, args = operation
+        store = self.store
+        if name == "add_node":
+            store.add_vertex(args["id"], args["properties"])
+        elif name == "update_node":
+            store.set_vertex_property(args["id"], args["key"], args["value"])
+        elif name == "delete_node":
+            store.remove_vertex(args["id"])
+        elif name == "get_node":
+            store.get_vertex(args["id"])
+        elif name == "add_link":
+            store.add_edge(
+                args["src"], args["dst"], args["type"], args["id"],
+                args["properties"],
+            )
+        elif name == "delete_link":
+            store.remove_edge(args["id"])
+        elif name == "update_link":
+            store.set_edge_property(args["id"], args["key"], args["value"])
+        elif name == "count_link":
+            store.run(f"g.v({args['id']}).outE('{args['type']}').count()")
+        elif name == "multiget_link":
+            rendered = ", ".join(str(i) for i in args["ids"])
+            store.run(f"g.e({rendered})")
+        elif name == "get_link_list":
+            store.run(f"g.v({args['id']}).outE('{args['type']}')")
+        else:
+            raise ValueError(f"unknown operation {name!r}")
+
+
+class BlueprintsLinkBench:
+    """LinkBench operations against a Blueprints (pipe-at-a-time) store.
+
+    Reads walk the store primitive-by-primitive, each call paying the
+    client/server round trip — the architecture of the compared systems.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self._guard = threading.Lock()
+
+    def execute(self, operation):
+        name, args = operation
+        store = self.store
+        if name == "add_node":
+            try:
+                store.add_vertex(args["id"], args["properties"])
+            except ValueError:
+                pass  # duplicate id from a concurrent requester
+        elif name == "update_node":
+            try:
+                store.set_vertex_property(args["id"], args["key"], args["value"])
+            except KeyError:
+                pass
+        elif name == "delete_node":
+            store.remove_vertex(args["id"])
+        elif name == "get_node":
+            store.get_vertex(args["id"])
+        elif name == "add_link":
+            try:
+                store.add_edge(
+                    args["src"], args["dst"], args["type"], args["id"],
+                    args["properties"],
+                )
+            except ValueError:
+                pass  # endpoint deleted / duplicate id
+        elif name == "delete_link":
+            store.remove_edge(args["id"])
+        elif name == "update_link":
+            try:
+                store.set_edge_property(args["id"], args["key"], args["value"])
+            except KeyError:
+                pass  # edge deleted by a concurrent requester
+        elif name == "count_link":
+            vertex = store.get_vertex(args["id"])
+            if vertex is not None:
+                edges = self._incident(vertex, (args["type"],))
+                len(list(edges))
+        elif name == "multiget_link":
+            for edge_id in args["ids"]:
+                store.get_edge(edge_id)
+        elif name == "get_link_list":
+            vertex = store.get_vertex(args["id"])
+            if vertex is not None:
+                list(self._incident(vertex, (args["type"],)))
+        else:
+            raise ValueError(f"unknown operation {name!r}")
+
+    def _incident(self, vertex, labels):
+        hook = getattr(self.store, "incident_edges", None)
+        if hook is not None:
+            return hook(vertex, Direction.OUT, labels)
+        return vertex.edges(Direction.OUT, labels)

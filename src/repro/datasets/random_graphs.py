@@ -1,0 +1,46 @@
+"""Random property graphs for differential and property-based testing."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.model import PropertyGraph
+
+DEFAULT_LABELS = ("knows", "created", "likes", "follows", "rated")
+DEFAULT_KEYS = ("name", "age", "lang", "score")
+
+
+def random_property_graph(seed=0, n_vertices=30, n_edges=60,
+                          labels=DEFAULT_LABELS, keys=DEFAULT_KEYS,
+                          allow_multi_edges=True):
+    """Generate a random property graph with string/int attributes."""
+    rng = random.Random(seed)
+    graph = PropertyGraph()
+    for vertex_id in range(1, n_vertices + 1):
+        properties = {}
+        if rng.random() < 0.9:
+            properties["name"] = f"n{rng.randrange(n_vertices * 2)}"
+        if rng.random() < 0.7:
+            properties["age"] = rng.randrange(18, 80)
+        if rng.random() < 0.3:
+            properties["lang"] = rng.choice(["java", "python", "go"])
+        if rng.random() < 0.4:
+            properties["score"] = round(rng.uniform(0, 10), 2)
+        graph.add_vertex(vertex_id, properties)
+    edge_id = n_vertices + 1
+    seen_pairs = set()
+    attempts = 0
+    while graph.edge_count() < n_edges and attempts < n_edges * 20:
+        attempts += 1
+        src = rng.randrange(1, n_vertices + 1)
+        dst = rng.randrange(1, n_vertices + 1)
+        label = rng.choice(labels)
+        if not allow_multi_edges and (src, dst, label) in seen_pairs:
+            continue
+        seen_pairs.add((src, dst, label))
+        properties = {"weight": round(rng.uniform(0, 1), 3)}
+        if rng.random() < 0.3:
+            properties["since"] = rng.randrange(2000, 2020)
+        graph.add_edge(src, dst, label, edge_id, properties)
+        edge_id += 1
+    return graph

@@ -1,0 +1,40 @@
+"""Tiny fixed graphs used in documentation, tests and quickstarts."""
+
+from repro.graph.model import PropertyGraph
+
+
+def paper_figure_graph():
+    """The sample property graph of paper Figure 2a.
+
+    Four vertices (marko, vadas, lop, josh) and five labeled, weighted
+    edges (knows/created/likes).
+    """
+    graph = PropertyGraph()
+    graph.add_vertex(1, {"name": "marko", "age": 29})
+    graph.add_vertex(2, {"name": "vadas", "age": 27})
+    graph.add_vertex(3, {"name": "lop", "lang": "java"})
+    graph.add_vertex(4, {"name": "josh", "age": 32})
+    graph.add_edge(1, 2, "knows", 7, {"weight": 0.5})
+    graph.add_edge(1, 4, "knows", 8, {"weight": 1.0})
+    graph.add_edge(1, 3, "created", 9, {"weight": 0.4})
+    graph.add_edge(4, 2, "likes", 10, {"weight": 0.2})
+    graph.add_edge(4, 3, "created", 11, {"weight": 0.8})
+    return graph
+
+
+def tinkerpop_classic():
+    """The classic 6-vertex TinkerPop toy graph."""
+    graph = PropertyGraph()
+    graph.add_vertex(1, {"name": "marko", "age": 29})
+    graph.add_vertex(2, {"name": "vadas", "age": 27})
+    graph.add_vertex(3, {"name": "lop", "lang": "java"})
+    graph.add_vertex(4, {"name": "josh", "age": 32})
+    graph.add_vertex(5, {"name": "ripple", "lang": "java"})
+    graph.add_vertex(6, {"name": "peter", "age": 35})
+    graph.add_edge(1, 2, "knows", 7, {"weight": 0.5})
+    graph.add_edge(1, 4, "knows", 8, {"weight": 1.0})
+    graph.add_edge(1, 3, "created", 9, {"weight": 0.4})
+    graph.add_edge(4, 5, "created", 10, {"weight": 1.0})
+    graph.add_edge(4, 3, "created", 11, {"weight": 0.4})
+    graph.add_edge(6, 3, "created", 12, {"weight": 0.2})
+    return graph

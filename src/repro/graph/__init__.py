@@ -1,0 +1,11 @@
+"""Property-graph object model and the Blueprints-style API.
+
+The :class:`~repro.graph.model.PropertyGraph` is the shared in-memory
+representation used by dataset generators, the Gremlin reference interpreter,
+the baseline stores and the SQLGraph bulk loader.
+"""
+
+from repro.graph.blueprints import Direction, GraphInterface
+from repro.graph.model import Edge, PropertyGraph, Vertex
+
+__all__ = ["Direction", "Edge", "GraphInterface", "PropertyGraph", "Vertex"]

@@ -1,0 +1,82 @@
+"""The Blueprints-style CRUD interface all graph stores implement.
+
+This mirrors the TinkerPop 2 Blueprints API the paper refers to: a small set
+of primitive graph operations (``getVertex``, ``getEdges`` ...) that a
+pipe-at-a-time Gremlin engine invokes once per traversal step per element.
+The SQLGraph store implements the same interface for CRUD, but answers whole
+Gremlin queries through SQL translation instead of stepping through it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Direction(enum.Enum):
+    """Edge direction relative to a vertex.
+
+    ``OUT`` edges leave the vertex (it is the tail / source); ``IN`` edges
+    arrive at it (head / target); ``BOTH`` is their union.
+    """
+
+    OUT = "out"
+    IN = "in"
+    BOTH = "both"
+
+    def opposite(self):
+        if self is Direction.OUT:
+            return Direction.IN
+        if self is Direction.IN:
+            return Direction.OUT
+        return Direction.BOTH
+
+
+class GraphInterface:
+    """Abstract base for graph stores.
+
+    Concrete stores: :class:`repro.graph.model.PropertyGraph` (plain
+    in-memory), :class:`repro.baselines.native.NativeGraphStore`,
+    :class:`repro.baselines.kv.KVGraphStore`, and
+    :class:`repro.core.store.SQLGraphStore`.
+    """
+
+    # --- reads ---------------------------------------------------------
+    def get_vertex(self, vertex_id):
+        raise NotImplementedError
+
+    def get_edge(self, edge_id):
+        raise NotImplementedError
+
+    def vertices(self):
+        """Iterate over all vertices."""
+        raise NotImplementedError
+
+    def edges(self):
+        """Iterate over all edges."""
+        raise NotImplementedError
+
+    def vertex_count(self):
+        raise NotImplementedError
+
+    def edge_count(self):
+        raise NotImplementedError
+
+    # --- writes --------------------------------------------------------
+    def add_vertex(self, vertex_id=None, properties=None):
+        raise NotImplementedError
+
+    def add_edge(self, out_vertex_id, in_vertex_id, label, edge_id=None,
+                 properties=None):
+        raise NotImplementedError
+
+    def remove_vertex(self, vertex_id):
+        raise NotImplementedError
+
+    def remove_edge(self, edge_id):
+        raise NotImplementedError
+
+    def set_vertex_property(self, vertex_id, key, value):
+        raise NotImplementedError
+
+    def set_edge_property(self, edge_id, key, value):
+        raise NotImplementedError

@@ -1,0 +1,223 @@
+"""In-memory property graph: the shared object model.
+
+Vertices and edges carry integer ids, string labels (edges only) and
+string-keyed attribute dictionaries, exactly matching the paper's data model
+(Figure 2a).  Adjacency is indexed per vertex and per label in both
+directions, so this model doubles as a capable native graph store.
+"""
+
+from __future__ import annotations
+
+from repro.graph.blueprints import Direction, GraphInterface
+
+
+class Element:
+    """Common behaviour of vertices and edges: id + properties."""
+
+    __slots__ = ("id", "properties")
+
+    def __init__(self, element_id, properties=None):
+        self.id = element_id
+        self.properties = dict(properties) if properties else {}
+
+    def get_property(self, key, default=None):
+        return self.properties.get(key, default)
+
+    def set_property(self, key, value):
+        self.properties[key] = value
+
+    def remove_property(self, key):
+        return self.properties.pop(key, None)
+
+    def property_keys(self):
+        return list(self.properties)
+
+
+class Vertex(Element):
+    """A vertex with per-label adjacency lists in both directions."""
+
+    __slots__ = ("out_edges", "in_edges")
+
+    def __init__(self, vertex_id, properties=None):
+        super().__init__(vertex_id, properties)
+        self.out_edges: dict[str, list[Edge]] = {}
+        self.in_edges: dict[str, list[Edge]] = {}
+
+    def edges(self, direction, labels=()):
+        """Edges incident to this vertex in *direction* (filtered by labels)."""
+        if direction is Direction.BOTH:
+            yield from self.edges(Direction.OUT, labels)
+            yield from self.edges(Direction.IN, labels)
+            return
+        table = self.out_edges if direction is Direction.OUT else self.in_edges
+        if labels:
+            for label in labels:
+                yield from table.get(label, ())
+        else:
+            for bucket in table.values():
+                yield from bucket
+
+    def vertices(self, direction, labels=()):
+        """Adjacent vertices reached over edges in *direction*."""
+        if direction is Direction.BOTH:
+            yield from self.vertices(Direction.OUT, labels)
+            yield from self.vertices(Direction.IN, labels)
+            return
+        for edge in self.edges(direction, labels):
+            yield edge.in_vertex if direction is Direction.OUT else edge.out_vertex
+
+    def degree(self, direction=Direction.BOTH, labels=()):
+        return sum(1 for __ in self.edges(direction, labels))
+
+    def __repr__(self):
+        return f"Vertex({self.id})"
+
+
+class Edge(Element):
+    """A directed, labeled edge from ``out_vertex`` to ``in_vertex``."""
+
+    __slots__ = ("label", "out_vertex", "in_vertex")
+
+    def __init__(self, edge_id, out_vertex, in_vertex, label, properties=None):
+        super().__init__(edge_id, properties)
+        self.label = label
+        self.out_vertex = out_vertex
+        self.in_vertex = in_vertex
+
+    def vertex(self, direction):
+        """Blueprints getVertex: OUT = source/tail, IN = target/head."""
+        if direction is Direction.OUT:
+            return self.out_vertex
+        if direction is Direction.IN:
+            return self.in_vertex
+        raise ValueError("edge endpoint requires OUT or IN")
+
+    def __repr__(self):
+        return (
+            f"Edge({self.id}, {self.out_vertex.id}-[{self.label}]->"
+            f"{self.in_vertex.id})"
+        )
+
+
+class PropertyGraph(GraphInterface):
+    """A mutable in-memory property graph."""
+
+    def __init__(self):
+        self._vertices: dict[int, Vertex] = {}
+        self._edges: dict[int, Edge] = {}
+        self._next_vertex_id = 1
+        self._next_edge_id = 1
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get_vertex(self, vertex_id):
+        return self._vertices.get(vertex_id)
+
+    def get_edge(self, edge_id):
+        return self._edges.get(edge_id)
+
+    def vertices(self):
+        return iter(self._vertices.values())
+
+    def edges(self):
+        return iter(self._edges.values())
+
+    def vertex_count(self):
+        return len(self._vertices)
+
+    def edge_count(self):
+        return len(self._edges)
+
+    def vertex_ids(self):
+        return list(self._vertices)
+
+    def edge_labels(self):
+        """Distinct edge labels present in the graph."""
+        labels = set()
+        for edge in self._edges.values():
+            labels.add(edge.label)
+        return labels
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex_id=None, properties=None):
+        if vertex_id is None:
+            vertex_id = self._next_vertex_id
+        if vertex_id in self._vertices:
+            raise ValueError(f"vertex {vertex_id} already exists")
+        self._next_vertex_id = max(self._next_vertex_id, vertex_id + 1)
+        vertex = Vertex(vertex_id, properties)
+        self._vertices[vertex_id] = vertex
+        return vertex
+
+    def add_edge(self, out_vertex_id, in_vertex_id, label, edge_id=None,
+                 properties=None):
+        out_vertex = self._vertices.get(out_vertex_id)
+        in_vertex = self._vertices.get(in_vertex_id)
+        if out_vertex is None or in_vertex is None:
+            raise ValueError(
+                f"edge endpoints must exist: {out_vertex_id}->{in_vertex_id}"
+            )
+        if edge_id is None:
+            edge_id = self._next_edge_id
+        if edge_id in self._edges:
+            raise ValueError(f"edge {edge_id} already exists")
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        edge = Edge(edge_id, out_vertex, in_vertex, label, properties)
+        self._edges[edge_id] = edge
+        out_vertex.out_edges.setdefault(label, []).append(edge)
+        in_vertex.in_edges.setdefault(label, []).append(edge)
+        return edge
+
+    def remove_edge(self, edge_id):
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            return False
+        bucket = edge.out_vertex.out_edges.get(edge.label, [])
+        if edge in bucket:
+            bucket.remove(edge)
+        bucket = edge.in_vertex.in_edges.get(edge.label, [])
+        if edge in bucket:
+            bucket.remove(edge)
+        return True
+
+    def remove_vertex(self, vertex_id):
+        vertex = self._vertices.get(vertex_id)
+        if vertex is None:
+            return False
+        incident = [edge.id for edge in vertex.edges(Direction.BOTH)]
+        for edge_id in incident:
+            self.remove_edge(edge_id)
+        del self._vertices[vertex_id]
+        return True
+
+    def set_vertex_property(self, vertex_id, key, value):
+        vertex = self._vertices[vertex_id]
+        vertex.set_property(key, value)
+
+    def set_edge_property(self, edge_id, key, value):
+        edge = self._edges[edge_id]
+        edge.set_property(key, value)
+
+    # ------------------------------------------------------------------
+    # utilities
+    # ------------------------------------------------------------------
+    def copy(self):
+        """Deep-enough copy: new elements, shared (copied) property dicts."""
+        clone = PropertyGraph()
+        for vertex in self._vertices.values():
+            clone.add_vertex(vertex.id, dict(vertex.properties))
+        for edge in self._edges.values():
+            clone.add_edge(
+                edge.out_vertex.id, edge.in_vertex.id, edge.label, edge.id,
+                dict(edge.properties),
+            )
+        return clone
+
+    def __repr__(self):
+        return (
+            f"PropertyGraph(vertices={len(self._vertices)}, "
+            f"edges={len(self._edges)})"
+        )

@@ -1,0 +1,22 @@
+"""Gremlin (TinkerPop 2 style) query language support.
+
+This package provides what the paper calls "Gremlin AST handling":
+
+* :mod:`repro.gremlin.lexer` / :mod:`repro.gremlin.parser` — parse
+  Gremlin-Groovy pipeline text like
+  ``g.V.filter{it.tag=='w'}.both.dedup().count()`` into a pipe AST;
+* :mod:`repro.gremlin.pipes` — the pipe AST node types (Table 5 of the
+  paper: transform / filter / side-effect / branch pipes);
+* :mod:`repro.gremlin.closures` — the restricted closure expression
+  language the paper's translator accepts (simple arithmetic/comparison
+  over ``it`` and its properties);
+* :mod:`repro.gremlin.interpreter` — a reference pipe-at-a-time evaluator
+  over any Blueprints-style store.  It defines the query semantics the
+  SQL translator is differential-tested against, and it is the execution
+  model of the baseline (Titan/Neo4j-like) stores.
+"""
+
+from repro.gremlin.interpreter import GremlinInterpreter
+from repro.gremlin.parser import parse_gremlin
+
+__all__ = ["GremlinInterpreter", "parse_gremlin"]

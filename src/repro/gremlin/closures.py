@@ -1,0 +1,225 @@
+"""The restricted Groovy-closure expression language.
+
+The paper's translator only accepts closures built from simple arithmetic
+and comparison operators over ``it`` (the current traverser object), its
+properties (``it.age``), and the loop counter (``it.loops``).  We add three
+convenience string methods (``contains`` / ``startsWith`` / ``endsWith``)
+that map cleanly to SQL LIKE.
+
+Closure ASTs are evaluated two ways:
+
+* :func:`evaluate` — directly, by the reference interpreter;
+* :meth:`repro.core.translator.GremlinTranslator` — compiled to SQL
+  predicates over the JSON attribute tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gremlin.errors import ClosureError
+
+
+class ClosureNode:
+    """Base class of closure expression nodes."""
+
+
+@dataclass(frozen=True)
+class ItRef(ClosureNode):
+    """The bare ``it`` object."""
+
+
+@dataclass(frozen=True)
+class PropRef(ClosureNode):
+    """``it.<name>`` — a property of the current object.
+
+    ``it.loops`` is the loop counter; ``it.id`` / ``it.label`` are element
+    id and label.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(ClosureNode):
+    value: object
+
+
+@dataclass(frozen=True)
+class Compare(ClosureNode):
+    op: str  # == != < <= > >=
+    left: ClosureNode
+    right: ClosureNode
+
+
+@dataclass(frozen=True)
+class BoolAnd(ClosureNode):
+    left: ClosureNode
+    right: ClosureNode
+
+
+@dataclass(frozen=True)
+class BoolOr(ClosureNode):
+    left: ClosureNode
+    right: ClosureNode
+
+
+@dataclass(frozen=True)
+class BoolNot(ClosureNode):
+    operand: ClosureNode
+
+
+@dataclass(frozen=True)
+class Arith(ClosureNode):
+    op: str  # + - * / %
+    left: ClosureNode
+    right: ClosureNode
+
+
+@dataclass(frozen=True)
+class StringMethod(ClosureNode):
+    """``it.name.contains('x')`` and friends."""
+
+    method: str  # contains | startsWith | endsWith
+    target: ClosureNode
+    argument: ClosureNode
+
+
+class ClosureEnv:
+    """Evaluation environment: the current object and the loop counter."""
+
+    __slots__ = ("obj", "loops", "property_getter")
+
+    def __init__(self, obj, loops=1, property_getter=None):
+        self.obj = obj
+        self.loops = loops
+        self.property_getter = property_getter
+
+
+def _default_property(obj, name):
+    getter = getattr(obj, "get_property", None)
+    if getter is not None:
+        if name == "id":
+            return obj.id
+        if name == "label":
+            return getattr(obj, "label", None)
+        return getter(name)
+    if isinstance(obj, dict):
+        return obj.get(name)
+    raise ClosureError(f"object {obj!r} has no property {name!r}")
+
+
+def evaluate(node, env):
+    """Evaluate a closure AST; missing properties behave as null (None)."""
+    if isinstance(node, ItRef):
+        return env.obj
+    if isinstance(node, PropRef):
+        if node.name == "loops":
+            return env.loops
+        getter = env.property_getter or _default_property
+        return getter(env.obj, node.name)
+    if isinstance(node, Const):
+        return node.value
+    if isinstance(node, Compare):
+        left = evaluate(node.left, env)
+        right = evaluate(node.right, env)
+        return _compare(node.op, left, right)
+    if isinstance(node, BoolAnd):
+        return bool(evaluate(node.left, env)) and bool(evaluate(node.right, env))
+    if isinstance(node, BoolOr):
+        return bool(evaluate(node.left, env)) or bool(evaluate(node.right, env))
+    if isinstance(node, BoolNot):
+        return not evaluate(node.operand, env)
+    if isinstance(node, Arith):
+        left = evaluate(node.left, env)
+        right = evaluate(node.right, env)
+        if left is None or right is None:
+            return None
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            return None if right == 0 else left / right
+        if node.op == "%":
+            return None if right == 0 else left % right
+    if isinstance(node, StringMethod):
+        target = evaluate(node.target, env)
+        argument = evaluate(node.argument, env)
+        if not isinstance(target, str) or not isinstance(argument, str):
+            return False
+        if node.method == "contains":
+            return argument in target
+        if node.method == "startsWith":
+            return target.startswith(argument)
+        if node.method == "endsWith":
+            return target.endswith(argument)
+    raise ClosureError(f"cannot evaluate closure node {node!r}")
+
+
+def _compare(op, left, right):
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if left is None or right is None:
+        return False
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise ClosureError(f"unknown comparison {op!r}")
+
+
+def references_only_loops(node):
+    """True if the closure only references ``it.loops`` (loop conditions)."""
+    if isinstance(node, PropRef):
+        return node.name == "loops"
+    if isinstance(node, ItRef):
+        return False
+    if isinstance(node, Const):
+        return True
+    for attr in ("left", "right", "operand", "target", "argument"):
+        child = getattr(node, attr, None)
+        if isinstance(child, ClosureNode) and not references_only_loops(child):
+            return False
+    return True
+
+
+def max_loops_bound(node):
+    """Extract a static loop bound from ``it.loops < N`` style conditions.
+
+    Returns the largest number of section executions implied by the
+    condition, or ``None`` when the depth cannot be determined statically.
+    The loop counter starts at 1 when a traverser first reaches the loop
+    pipe; the condition keeps the traverser looping while true.
+    """
+    if isinstance(node, Compare):
+        loops_left = isinstance(node.left, PropRef) and node.left.name == "loops"
+        loops_right = isinstance(node.right, PropRef) and node.right.name == "loops"
+        if loops_left and isinstance(node.right, Const) and isinstance(
+            node.right.value, (int, float)
+        ):
+            bound = node.right.value
+            if node.op == "<":
+                return int(bound)
+            if node.op == "<=":
+                return int(bound) + 1
+        if loops_right and isinstance(node.left, Const) and isinstance(
+            node.left.value, (int, float)
+        ):
+            bound = node.left.value
+            if node.op == ">":
+                return int(bound)
+            if node.op == ">=":
+                return int(bound) + 1
+    return None

@@ -1,0 +1,17 @@
+"""Exceptions for the Gremlin subsystem."""
+
+
+class GremlinError(Exception):
+    """Base class for Gremlin parsing/evaluation/translation errors."""
+
+
+class GremlinSyntaxError(GremlinError):
+    """The query text could not be tokenized or parsed."""
+
+
+class UnsupportedPipeError(GremlinError):
+    """A pipe is outside the supported (side-effect-free) subset."""
+
+
+class ClosureError(GremlinError):
+    """A closure uses constructs outside the restricted closure language."""

@@ -1,0 +1,498 @@
+"""Reference pipe-at-a-time Gremlin evaluator.
+
+This is the semantics oracle for the SQL translator (differential tests) and
+the execution model of the baseline stores: each traversal step invokes
+Blueprints-style primitives on the store, one call per element, exactly like
+the Titan/Neo4j Gremlin engines the paper compares against.
+
+Stores can interpose on data access (to charge simulated client/server round
+trips or count calls) by implementing the optional hook methods
+``adjacent_vertices``, ``incident_edges``, ``edge_endpoint``,
+``element_property`` and ``lookup_vertices``; otherwise the interpreter
+falls back to direct element-object methods.
+"""
+
+from __future__ import annotations
+
+from repro.graph.blueprints import Direction
+from repro.gremlin import closures as cl
+from repro.gremlin import pipes as p
+from repro.gremlin.errors import GremlinError, UnsupportedPipeError
+from repro.relational.index import total_order_key
+
+_DIRECTIONS = {
+    "out": Direction.OUT,
+    "in": Direction.IN,
+    "both": Direction.BOTH,
+}
+
+
+class Traverser:
+    """One object moving through the pipeline, with its history."""
+
+    __slots__ = ("obj", "path", "marks", "loops")
+
+    def __init__(self, obj, path=(), marks=None, loops=1):
+        self.obj = obj
+        self.path = path
+        self.marks = marks if marks is not None else {}
+        self.loops = loops
+
+    def step(self, obj, extends_path=True):
+        path = self.path + (obj,) if extends_path else self.path
+        return Traverser(obj, path, dict(self.marks), self.loops)
+
+    def replace(self, obj):
+        return Traverser(obj, self.path, dict(self.marks), self.loops)
+
+
+def _element_key(obj):
+    """Dedup/membership key: elements by (kind, id), values by value."""
+    element_id = getattr(obj, "id", None)
+    if element_id is not None and hasattr(obj, "get_property"):
+        # only edges carry a label attribute in the property-graph model
+        kind = "e" if hasattr(obj, "label") else "v"
+        return (kind, element_id)
+    if isinstance(obj, (list, tuple)):
+        return tuple(_element_key(item) for item in obj)
+    return obj
+
+
+class GremlinInterpreter:
+    """Evaluates parsed Gremlin queries over a Blueprints-style store."""
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # data-access indirection (stores may interpose for cost accounting)
+    # ------------------------------------------------------------------
+    def _adjacent(self, vertex, direction, labels):
+        hook = getattr(self.graph, "adjacent_vertices", None)
+        if hook is not None:
+            return hook(vertex, direction, labels)
+        return vertex.vertices(direction, labels)
+
+    def _incident(self, vertex, direction, labels):
+        hook = getattr(self.graph, "incident_edges", None)
+        if hook is not None:
+            return hook(vertex, direction, labels)
+        return vertex.edges(direction, labels)
+
+    def _endpoint(self, edge, direction):
+        hook = getattr(self.graph, "edge_endpoint", None)
+        if hook is not None:
+            return hook(edge, direction)
+        return edge.vertex(direction)
+
+    def _property(self, element, key):
+        hook = getattr(self.graph, "element_property", None)
+        if hook is not None:
+            return hook(element, key)
+        if key == "id":
+            return element.id
+        if key == "label" and hasattr(element, "label"):
+            # the element-label shorthand applies to edges only; a vertex
+            # may legitimately carry a 'label' attribute (e.g. rdfs:label)
+            return element.label
+        return element.get_property(key)
+
+    def _lookup_vertices(self, key, value):
+        hook = getattr(self.graph, "lookup_vertices", None)
+        if hook is not None:
+            return hook(key, value)
+        return (
+            vertex
+            for vertex in self.graph.vertices()
+            if vertex.get_property(key) == value
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, query):
+        """Evaluate *query*; returns the list of final objects."""
+        env = {}
+        pipes = self._graph_query_rewrite(list(query.pipes))
+        traversers = [Traverser(None, ())]
+        traversers = self._run_pipes(pipes, traversers, env)
+        return [traverser.obj for traverser in traversers]
+
+    def _graph_query_rewrite(self, pipes):
+        """The GraphQuery optimization every real store performs (paper
+        §4.5.1): ``g.V`` followed by an equality attribute filter becomes an
+        indexed lookup when the store has an index on that attribute."""
+        if len(pipes) < 2:
+            return pipes
+        start = pipes[0]
+        follower = pipes[1]
+        has_index = getattr(self.graph, "has_attribute_index", None)
+        if (
+            isinstance(start, p.StartVertices)
+            and not start.ids
+            and start.key is None
+            and isinstance(follower, p.HasPipe)
+            and follower.op == "=="
+            and not follower.exists_only
+            and has_index is not None
+            and has_index(follower.key)
+        ):
+            merged = p.StartVertices(key=follower.key, value=follower.value)
+            return [merged] + pipes[2:]
+        return pipes
+
+    # ------------------------------------------------------------------
+    # pipeline driver
+    # ------------------------------------------------------------------
+    def _run_pipes(self, pipes, traversers, env):
+        i = 0
+        while i < len(pipes):
+            pipe = pipes[i]
+            if isinstance(pipe, p.LoopPipe):
+                traversers = self._eval_loop(pipes, i, traversers, env)
+                i += 1
+                continue
+            if isinstance(pipe, p.CopySplitPipe):
+                merge = pipes[i + 1] if i + 1 < len(pipes) else None
+                if not isinstance(merge, p.MergePipe):
+                    raise GremlinError("copySplit must be followed by a merge pipe")
+                traversers = self._eval_copysplit(pipe, merge, traversers, env)
+                i += 2
+                continue
+            traversers = self._eval_pipe(pipe, traversers, env)
+            i += 1
+        return traversers
+
+    # ------------------------------------------------------------------
+    # single pipes
+    # ------------------------------------------------------------------
+    def _eval_pipe(self, pipe, traversers, env):
+        if isinstance(pipe, p.StartVertices):
+            return list(self._start_vertices(pipe))
+        if isinstance(pipe, p.StartEdges):
+            return list(self._start_edges(pipe))
+        if isinstance(pipe, p.Adjacent):
+            direction = _DIRECTIONS[pipe.direction]
+            out = []
+            for traverser in traversers:
+                for vertex in self._adjacent(traverser.obj, direction, pipe.labels):
+                    out.append(traverser.step(vertex))
+            return out
+        if isinstance(pipe, p.IncidentEdges):
+            direction = _DIRECTIONS[pipe.direction]
+            out = []
+            for traverser in traversers:
+                for edge in self._incident(traverser.obj, direction, pipe.labels):
+                    out.append(traverser.step(edge))
+            return out
+        if isinstance(pipe, p.EdgeVertex):
+            out = []
+            for traverser in traversers:
+                if pipe.direction == "both":
+                    out.append(
+                        traverser.step(self._endpoint(traverser.obj, Direction.OUT))
+                    )
+                    out.append(
+                        traverser.step(self._endpoint(traverser.obj, Direction.IN))
+                    )
+                else:
+                    direction = _DIRECTIONS[pipe.direction]
+                    out.append(traverser.step(self._endpoint(traverser.obj, direction)))
+            return out
+        if isinstance(pipe, p.IdGetter):
+            return [traverser.step(traverser.obj.id) for traverser in traversers]
+        if isinstance(pipe, p.LabelGetter):
+            # edges: the element label.  vertices: fall back to a 'label'
+            # attribute (dropping misses), mirroring the SQL translation.
+            out = []
+            for traverser in traversers:
+                value = self._property(traverser.obj, "label")
+                if value is not None:
+                    out.append(traverser.step(value))
+            return out
+        if isinstance(pipe, p.PropertyGetter):
+            out = []
+            for traverser in traversers:
+                value = self._property(traverser.obj, pipe.key)
+                if value is not None:
+                    out.append(traverser.step(value))
+            return out
+        if isinstance(pipe, p.HasPipe):
+            return [t for t in traversers if self._has_matches(pipe, t.obj)]
+        if isinstance(pipe, p.HasNotPipe):
+            return [
+                t for t in traversers if self._property(t.obj, pipe.key) is None
+            ]
+        if isinstance(pipe, p.IntervalPipe):
+            out = []
+            for traverser in traversers:
+                value = self._property(traverser.obj, pipe.key)
+                if value is None:
+                    continue
+                try:
+                    if pipe.low <= value < pipe.high:
+                        out.append(traverser)
+                except TypeError:
+                    continue
+            return out
+        if isinstance(pipe, p.FilterClosurePipe):
+            out = []
+            for traverser in traversers:
+                environment = cl.ClosureEnv(
+                    traverser.obj, traverser.loops, self._closure_property
+                )
+                if cl.evaluate(pipe.closure, environment):
+                    out.append(traverser)
+            return out
+        if isinstance(pipe, p.DedupPipe):
+            seen = set()
+            out = []
+            for traverser in traversers:
+                key = _element_key(traverser.obj)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(traverser)
+            return out
+        if isinstance(pipe, p.RangePipe):
+            high = pipe.high
+            out = []
+            for position, traverser in enumerate(traversers):
+                if position < pipe.low:
+                    continue
+                if high >= 0 and position > high:
+                    break
+                out.append(traverser)
+            return out
+        if isinstance(pipe, p.IdFilterPipe):
+            return [t for t in traversers if t.obj.id == pipe.value]
+        if isinstance(pipe, p.ExceptPipe):
+            members = self._membership(pipe, env)
+            return [t for t in traversers if _element_key(t.obj) not in members]
+        if isinstance(pipe, p.RetainPipe):
+            members = self._membership(pipe, env)
+            return [t for t in traversers if _element_key(t.obj) in members]
+        if isinstance(pipe, p.SimplePathPipe):
+            return [
+                t
+                for t in traversers
+                if len({_element_key(o) for o in t.path}) == len(t.path)
+            ]
+        if isinstance(pipe, p.CyclicPathPipe):
+            return [
+                t
+                for t in traversers
+                if len({_element_key(o) for o in t.path}) != len(t.path)
+            ]
+        if isinstance(pipe, p.AndPipe):
+            return [
+                t
+                for t in traversers
+                if all(self._branch_matches(branch, t, env) for branch in pipe.branches)
+            ]
+        if isinstance(pipe, p.OrPipe):
+            return [
+                t
+                for t in traversers
+                if any(self._branch_matches(branch, t, env) for branch in pipe.branches)
+            ]
+        if isinstance(pipe, p.PathPipe):
+            return [t.replace(list(t.path)) for t in traversers]
+        if isinstance(pipe, p.CountPipe):
+            count = len(traversers)
+            return [Traverser(count, (count,))]
+        if isinstance(pipe, p.OrderPipe):
+            ordered = sorted(
+                traversers,
+                key=lambda t: total_order_key(
+                    t.obj if not hasattr(t.obj, "id") else t.obj.id
+                ),
+                reverse=pipe.descending,
+            )
+            return ordered
+        if isinstance(pipe, p.BackPipe):
+            return [self._back(t, pipe.target) for t in traversers]
+        if isinstance(pipe, p.SelectPipe):
+            out = []
+            for traverser in traversers:
+                row = []
+                for name in pipe.names:
+                    index = traverser.marks.get(name)
+                    row.append(None if index is None else traverser.path[index])
+                out.append(traverser.replace(row))
+            return out
+        if isinstance(pipe, p.AsPipe):
+            for traverser in traversers:
+                traverser.marks[pipe.name] = len(traverser.path) - 1
+            return traversers
+        if isinstance(pipe, p.AggregatePipe):
+            bucket = env.setdefault(pipe.name, [])
+            for traverser in traversers:
+                bucket.append(traverser.obj)
+            return traversers  # barrier: input fully drained above
+        if isinstance(pipe, p.StorePipe):
+            bucket = env.setdefault(pipe.name, [])
+            for traverser in traversers:
+                bucket.append(traverser.obj)
+            return traversers
+        if isinstance(pipe, p.TablePipe):
+            rows = env.setdefault(("table", pipe.name), [])
+            for traverser in traversers:
+                rows.append(
+                    {
+                        name: traverser.path[index]
+                        for name, index in traverser.marks.items()
+                    }
+                )
+            return traversers
+        if isinstance(pipe, p.GroupCountPipe):
+            counts = env.setdefault(("groupCount", pipe.name), {})
+            for traverser in traversers:
+                key = _element_key(traverser.obj)
+                counts[key] = counts.get(key, 0) + 1
+            return traversers
+        if isinstance(pipe, (p.SideEffectClosurePipe, p.IteratePipe, p.CapPipe)):
+            return traversers
+        if isinstance(pipe, p.IfThenElsePipe):
+            out = []
+            for traverser in traversers:
+                environment = cl.ClosureEnv(
+                    traverser.obj, traverser.loops, self._closure_property
+                )
+                branch = (
+                    pipe.then_closure
+                    if cl.evaluate(pipe.condition, environment)
+                    else pipe.else_closure
+                )
+                out.append(traverser.step(cl.evaluate(branch, environment)))
+            return out
+        if isinstance(pipe, p.MergePipe):
+            raise GremlinError("merge pipe without a preceding copySplit")
+        raise UnsupportedPipeError(f"interpreter cannot evaluate {pipe!r}")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _closure_property(self, obj, name):
+        if hasattr(obj, "get_property"):
+            return self._property(obj, name)
+        return cl._default_property(obj, name)
+
+    def _start_vertices(self, pipe):
+        if pipe.ids:
+            for vertex_id in pipe.ids:
+                vertex = self.graph.get_vertex(vertex_id)
+                if vertex is not None:
+                    yield Traverser(vertex, (vertex,))
+            return
+        if pipe.key is not None:
+            for vertex in self._lookup_vertices(pipe.key, pipe.value):
+                yield Traverser(vertex, (vertex,))
+            return
+        for vertex in self.graph.vertices():
+            yield Traverser(vertex, (vertex,))
+
+    def _start_edges(self, pipe):
+        if pipe.ids:
+            for edge_id in pipe.ids:
+                edge = self.graph.get_edge(edge_id)
+                if edge is not None:
+                    yield Traverser(edge, (edge,))
+            return
+        for edge in self.graph.edges():
+            if pipe.key is not None and self._property(edge, pipe.key) != pipe.value:
+                continue
+            yield Traverser(edge, (edge,))
+
+    def _has_matches(self, pipe, obj):
+        value = self._property(obj, pipe.key)
+        if pipe.exists_only:
+            return value is not None
+        return bool(cl._compare(pipe.op, value, pipe.value))
+
+    def _membership(self, pipe, env):
+        if pipe.name is not None:
+            values = env.get(pipe.name, [])
+        else:
+            values = pipe.values or ()
+        members = set()
+        for value in values:
+            members.add(_element_key(value))
+            if isinstance(value, int):
+                # bare ids in except([1,2]) / retain([1,2]) match elements
+                members.add(("v", value))
+                members.add(("e", value))
+        return members
+
+    def _branch_matches(self, branch, traverser, env):
+        seed = [Traverser(traverser.obj, (traverser.obj,))]
+        result = self._run_pipes(list(branch), seed, env)
+        return bool(result)
+
+    def _back(self, traverser, target):
+        if isinstance(target, int):
+            index = len(traverser.path) - 1 - target
+        else:
+            index = traverser.marks.get(target)
+            if index is None:
+                raise GremlinError(f"back target {target!r} was never marked")
+        if index < 0 or index >= len(traverser.path):
+            raise GremlinError(f"back target {target!r} out of range")
+        obj = traverser.path[index]
+        new = Traverser(
+            obj, traverser.path[: index + 1], dict(traverser.marks), traverser.loops
+        )
+        return new
+
+    def _eval_loop(self, pipes, position, traversers, env):
+        pipe = pipes[position]
+        start = position - pipe.back_steps
+        if start < 0:
+            raise GremlinError("loop rewinds past the start of the pipeline")
+        segment = pipes[start:position]
+        emitted = []
+        frontier = [
+            Traverser(t.obj, t.path, dict(t.marks), 1) for t in traversers
+        ]
+        guard = 0
+        while frontier:
+            guard += 1
+            if guard > 10_000:
+                raise GremlinError("loop exceeded iteration guard")
+            continuing = []
+            for traverser in frontier:
+                environment = cl.ClosureEnv(
+                    traverser.obj, traverser.loops, self._closure_property
+                )
+                if cl.evaluate(pipe.condition, environment):
+                    continuing.append(traverser)
+                else:
+                    emitted.append(traverser)
+            if not continuing:
+                break
+            advanced = self._run_pipes(list(segment), continuing, env)
+            frontier = [
+                Traverser(t.obj, t.path, dict(t.marks), t.loops + 1)
+                for t in advanced
+            ]
+        return emitted
+
+    def _eval_copysplit(self, split, merge, traversers, env):
+        per_branch = []
+        for branch in split.branches:
+            seeds = [
+                Traverser(t.obj, t.path, dict(t.marks), t.loops) for t in traversers
+            ]
+            per_branch.append(self._run_pipes(list(branch), seeds, env))
+        if not merge.fair:
+            merged = []
+            for results in per_branch:
+                merged.extend(results)
+            return merged
+        merged = []
+        position = 0
+        while any(position < len(results) for results in per_branch):
+            for results in per_branch:
+                if position < len(results):
+                    merged.append(results[position])
+            position += 1
+        return merged

@@ -1,0 +1,579 @@
+"""The Database facade: catalog, statement execution, transactions.
+
+``Database.execute(sql, params)`` is the single entry point.  SELECT
+statements return a :class:`ResultSet`; DML returns a ResultSet whose
+``rowcount`` is set.  Statements run under table-level two-phase locking;
+``Database.transaction()`` groups statements with undo-based rollback.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.relational import expressions as ex
+from repro.relational import operators as op
+from repro.relational.errors import BindError, CatalogError, TransactionError
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.locks import LockManager
+from repro.relational.pages import BufferPool
+from repro.relational.planner import Planner, Runtime
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.sql import ast_nodes as ast
+from repro.relational.sql.parser import parse_statement
+from repro.relational.table import HeapTable
+
+
+class ResultSet:
+    """Materialized result of one statement."""
+
+    __slots__ = ("columns", "rows", "rowcount")
+
+    def __init__(self, columns=(), rows=(), rowcount=0):
+        self.columns = list(columns)
+        self.rows = list(rows)
+        self.rowcount = rowcount
+
+    def scalar(self):
+        """First column of the first row (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, position=0):
+        return [row[position] for row in self.rows]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class Catalog:
+    """All tables of a database."""
+
+    def __init__(self, buffer_pool):
+        self._tables: dict[str, HeapTable] = {}
+        self._pool = buffer_pool
+        buffer_pool.bind_catalog(self._tables.get)
+
+    def create_table(self, schema):
+        name = schema.name
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = HeapTable(schema, self._pool)
+        self._tables[name] = table
+        return table
+
+    def get_table(self, name):
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise BindError(f"unknown table {name!r}")
+        return table
+
+    def has_table(self, name):
+        return name.lower() in self._tables
+
+    def drop_table(self, name):
+        table = self._tables.pop(name.lower(), None)
+        if table is not None:
+            self._pool.drop_table(table.name)
+        return table is not None
+
+    def table_names(self):
+        return sorted(self._tables)
+
+
+class Transaction:
+    """Undo log + held locks for an explicit transaction."""
+
+    def __init__(self, database):
+        self.database = database
+        self.undo = []  # (kind, table, rid, old_row)
+        self.lock_tokens = []
+        self.held = {}  # table name -> 'r' | 'w'
+        self.active = True
+
+    def release_read(self, name):
+        """Drop a held read lock (lock-upgrade path)."""
+        for token in self.lock_tokens:
+            for i, (lock, mode) in enumerate(token):
+                if lock.name == name and mode == "r":
+                    lock.release_read()
+                    del token[i]
+                    self.held.pop(name, None)
+                    return True
+        return False
+
+    def record_insert(self, table, rid):
+        self.undo.append(("insert", table, rid, None))
+
+    def record_delete(self, table, rid, old_row):
+        self.undo.append(("delete", table, rid, old_row))
+
+    def record_update(self, table, rid, old_row):
+        self.undo.append(("update", table, rid, old_row))
+
+    def commit(self):
+        self._finish()
+
+    def rollback(self):
+        for kind, table, rid, old_row in reversed(self.undo):
+            if kind == "insert":
+                table.delete(rid)
+            elif kind == "delete":
+                table.restore(rid, old_row)
+            elif kind == "update":
+                table.update(rid, old_row, coerce=False)
+        self._finish()
+
+    def _finish(self):
+        if not self.active:
+            raise TransactionError("transaction already finished")
+        self.active = False
+        for token in reversed(self.lock_tokens):
+            LockManager.release(token)
+        self.undo.clear()
+        self.lock_tokens.clear()
+        self.held.clear()
+
+
+class Database:
+    """An in-process relational database.
+
+    :param buffer_pool_pages: LRU buffer pool capacity in pages
+        (``None`` = unbounded).
+    :param lock_timeout: seconds to wait for a table lock.
+    """
+
+    def __init__(self, buffer_pool_pages=None, lock_timeout=30.0,
+                 planner_options=None):
+        self.buffer_pool = BufferPool(buffer_pool_pages)
+        self.catalog = Catalog(self.buffer_pool)
+        self.functions = ex.default_functions()
+        self.locks = LockManager(lock_timeout)
+        self.planner_options = dict(planner_options or {})
+        self._local = threading.local()
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def register_function(self, name, fn):
+        """Register a scalar SQL function (UDF)."""
+        self.functions[name.lower()] = fn
+
+    def execute(self, sql, params=None):
+        """Parse, plan, lock and run one SQL statement."""
+        statement = parse_statement(sql)
+        self._substitute_params(statement, params)
+        self.statements_executed += 1
+        read_tables, write_tables = self._lock_sets(statement)
+        transaction = self.current_transaction()
+        if transaction is not None:
+            # skip locks the transaction already holds; upgrade read -> write
+            # by releasing the read first (brief window, documented)
+            held = transaction.held
+            writes = {name for name in write_tables if held.get(name) != "w"}
+            for name in writes:
+                if held.get(name) == "r":
+                    transaction.release_read(name)
+            reads = {name for name in read_tables if name not in held} - writes
+            token = self.locks.acquire(reads, writes)
+            transaction.lock_tokens.append(token)
+            held.update({name: "w" for name in writes})
+            held.update({name: "r" for name in reads})
+            return self._dispatch(statement, transaction)
+        token = self.locks.acquire(read_tables, write_tables)
+        try:
+            return self._dispatch(statement, transaction)
+        finally:
+            LockManager.release(token)
+
+    def transaction(self):
+        """Context manager: commit on clean exit, rollback on exception."""
+        database = self
+
+        class _TransactionContext:
+            def __enter__(self):
+                if database.current_transaction() is not None:
+                    raise TransactionError("nested transactions are not supported")
+                self.txn = Transaction(database)
+                database._local.txn = self.txn
+                return self.txn
+
+            def __exit__(self, exc_type, exc, tb):
+                database._local.txn = None
+                if exc_type is None:
+                    self.txn.commit()
+                else:
+                    self.txn.rollback()
+                return False
+
+        return _TransactionContext()
+
+    def current_transaction(self):
+        return getattr(self._local, "txn", None)
+
+    def table(self, name):
+        """Direct access to a heap table (bulk loaders bypass SQL)."""
+        return self.catalog.get_table(name)
+
+    def storage_bytes(self):
+        """Approximate total serialized size of all tables."""
+        self.buffer_pool.clear()
+        return sum(
+            self.catalog.get_table(name).storage_bytes()
+            for name in self.catalog.table_names()
+        )
+
+    # ------------------------------------------------------------------
+    # parameter substitution
+    # ------------------------------------------------------------------
+    def _substitute_params(self, statement, params):
+        def fix(expression):
+            return ex.substitute_parameters(expression, params)
+
+        if isinstance(statement, ast.SelectStatement):
+            for cte in statement.ctes:
+                self._substitute_query(cte.query, params)
+            self._substitute_query(statement.body, params)
+            for item in statement.order_by:
+                item.expr = fix(item.expr)
+            if statement.limit is not None:
+                statement.limit = fix(statement.limit)
+            if statement.offset is not None:
+                statement.offset = fix(statement.offset)
+        elif isinstance(statement, ast.InsertStatement):
+            if statement.rows is not None:
+                for row in statement.rows:
+                    for i, expression in enumerate(row):
+                        row[i] = fix(expression)
+            if statement.query is not None:
+                self._substitute_params(statement.query, params)
+        elif isinstance(statement, ast.UpdateStatement):
+            statement.assignments = [
+                (column, fix(expression))
+                for column, expression in statement.assignments
+            ]
+            if statement.where is not None:
+                statement.where = fix(statement.where)
+        elif isinstance(statement, ast.DeleteStatement):
+            if statement.where is not None:
+                statement.where = fix(statement.where)
+
+    def _substitute_query(self, node, params):
+        if isinstance(node, ast.SetOp):
+            self._substitute_query(node.left, params)
+            self._substitute_query(node.right, params)
+            return
+        if not isinstance(node, ast.Select):
+            return
+        for item in node.items:
+            if item.expr is not None:
+                item.expr = ex.substitute_parameters(item.expr, params)
+        for from_item in node.from_items:
+            self._substitute_from(from_item, params)
+        if node.where is not None:
+            node.where = ex.substitute_parameters(node.where, params)
+        node.group_by = [
+            ex.substitute_parameters(expression, params)
+            for expression in node.group_by
+        ]
+        if node.having is not None:
+            node.having = ex.substitute_parameters(node.having, params)
+
+    def _substitute_from(self, item, params):
+        if isinstance(item, ast.Join):
+            self._substitute_from(item.left, params)
+            self._substitute_from(item.right, params)
+            if item.condition is not None:
+                item.condition = ex.substitute_parameters(item.condition, params)
+        elif isinstance(item, ast.SubquerySource):
+            self._substitute_query(item.query, params)
+        elif isinstance(item, ast.UnnestValues):
+            for row in item.rows:
+                for i, expression in enumerate(row):
+                    row[i] = ex.substitute_parameters(expression, params)
+
+    # ------------------------------------------------------------------
+    # lock analysis
+    # ------------------------------------------------------------------
+    def _lock_sets(self, statement):
+        reads = set()
+        writes = set()
+        if isinstance(statement, ast.ExplainStatement):
+            statement = statement.statement
+        if isinstance(statement, ast.SelectStatement):
+            self._collect_tables(statement, reads)
+        elif isinstance(statement, ast.InsertStatement):
+            writes.add(statement.table.lower())
+            if statement.query is not None:
+                self._collect_tables(statement.query, reads)
+        elif isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
+            writes.add(statement.table.lower())
+        elif isinstance(
+            statement,
+            (ast.CreateTableStatement, ast.CreateIndexStatement,
+             ast.DropTableStatement),
+        ):
+            if isinstance(statement, ast.CreateIndexStatement):
+                writes.add(statement.table.lower())
+        # only lock existing base tables (CTE names are statement-local)
+        reads = {name for name in reads if self.catalog.has_table(name)}
+        writes = {name for name in writes if self.catalog.has_table(name)}
+        return reads, writes
+
+    def _collect_tables(self, statement, out):
+        cte_names = set()
+
+        def visit_query(node):
+            if isinstance(node, ast.SetOp):
+                visit_query(node.left)
+                visit_query(node.right)
+                return
+            if not isinstance(node, ast.Select):
+                return
+            for from_item in node.from_items:
+                visit_from(from_item)
+            for expression in self._statement_expressions(node):
+                visit_expression(expression)
+
+        def visit_from(item):
+            if isinstance(item, ast.TableRef):
+                if item.name.lower() not in cte_names:
+                    out.add(item.name.lower())
+            elif isinstance(item, ast.Join):
+                visit_from(item.left)
+                visit_from(item.right)
+            elif isinstance(item, ast.SubquerySource):
+                visit_query(item.query)
+
+        def visit_expression(expression):
+            if expression is None:
+                return
+            for node in expression.walk():
+                plan = getattr(node, "plan", None)
+                if isinstance(plan, ast.SelectStatement):
+                    visit_statement(plan)
+
+        def visit_statement(stmt):
+            for cte in stmt.ctes:
+                cte_names.add(cte.name.lower())
+                visit_query(cte.query)
+            visit_query(stmt.body)
+
+        visit_statement(statement)
+
+    @staticmethod
+    def _statement_expressions(select):
+        for item in select.items:
+            if item.expr is not None:
+                yield item.expr
+        if select.where is not None:
+            yield select.where
+        if select.having is not None:
+            yield select.having
+        yield from select.group_by
+
+    # ------------------------------------------------------------------
+    # statement dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, statement, transaction):
+        if isinstance(statement, ast.ExplainStatement):
+            return self._run_explain(statement)
+        if isinstance(statement, ast.SelectStatement):
+            return self._run_select(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._run_insert(statement, transaction)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._run_update(statement, transaction)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._run_delete(statement, transaction)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._run_create_table(statement)
+        if isinstance(statement, ast.CreateIndexStatement):
+            return self._run_create_index(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            return self._run_drop_table(statement)
+        raise BindError(f"cannot execute {type(statement).__name__}")
+
+    def _run_select(self, statement):
+        planner = Planner(self, Runtime(self))
+        plan = planner.plan_select_statement(statement)
+        columns = [name for __, name in plan.columns]
+        return ResultSet(columns, list(plan.rows()))
+
+    def _run_explain(self, statement):
+        inner = statement.statement
+        if not isinstance(inner, ast.SelectStatement):
+            raise BindError("EXPLAIN supports SELECT statements only")
+        planner = Planner(self, Runtime(self))
+        plan = planner.plan_select_statement(inner)
+        text = op.explain_plan(plan)
+        return ResultSet(["plan"], [(line,) for line in text.splitlines()])
+
+    def _run_insert(self, statement, transaction):
+        table = self.catalog.get_table(statement.table)
+        planner = Planner(self)
+        rows_to_insert = []
+        if statement.rows is not None:
+            for row_exprs in statement.rows:
+                rows_to_insert.append(
+                    [planner.const_value(expression) for expression in row_exprs]
+                )
+        else:
+            result = self._run_select(statement.query)
+            rows_to_insert.extend(list(row) for row in result.rows)
+        count = 0
+        for values in rows_to_insert:
+            full = self._arrange_insert_values(table, statement.columns, values)
+            rid = table.insert(full)
+            if transaction is not None:
+                transaction.record_insert(table, rid)
+            count += 1
+        return ResultSet(rowcount=count)
+
+    @staticmethod
+    def _arrange_insert_values(table, columns, values):
+        if columns is None:
+            return values
+        positions = {name.lower(): i for i, name in enumerate(columns)}
+        full = []
+        for column in table.schema.columns:
+            if column.name in positions:
+                full.append(values[positions[column.name]])
+            else:
+                full.append(None)
+        if len(positions) != len(values):
+            raise BindError(
+                f"INSERT lists {len(positions)} columns but {len(values)} values"
+            )
+        return full
+
+    def _where_matches(self, table, where):
+        """RIDs of rows matching *where* (index-assisted when possible)."""
+        planner = Planner(self)
+        columns = [(table.name, name) for name in table.schema.column_names]
+        if where is None:
+            return [(rid, row) for rid, row in table.scan()]
+        # try a single-conjunct index probe for the common point lookup
+        ctx = planner._ctx(columns)
+        predicate = where.compile(ctx)
+        from repro.relational.planner import split_conjuncts
+
+        for conjunct in split_conjuncts(where):
+            if isinstance(conjunct, ex.Comparison) and conjunct.op == "=":
+                for key_side, value_side in (
+                    (conjunct.left, conjunct.right),
+                    (conjunct.right, conjunct.left),
+                ):
+                    if value_side.references() or not key_side.references():
+                        continue
+                    try:
+                        index = table.find_index(key_side.fingerprint())
+                    except NotImplementedError:
+                        continue
+                    if index is None:
+                        continue
+                    key = planner.const_value(value_side)
+                    matches = []
+                    for rid in index.lookup(key):
+                        row = table.get(rid)
+                        if row is not None and predicate(row):
+                            matches.append((rid, row))
+                    return matches
+        return [(rid, row) for rid, row in table.scan() if predicate(row)]
+
+    def _run_update(self, statement, transaction):
+        table = self.catalog.get_table(statement.table)
+        matches = self._where_matches(table, statement.where)
+        planner = Planner(self)
+        columns = [(table.name, name) for name in table.schema.column_names]
+        ctx = planner._ctx(columns)
+        assignment_fns = [
+            (table.schema.position(column), expression.compile(ctx))
+            for column, expression in statement.assignments
+        ]
+        count = 0
+        for rid, row in matches:
+            new_row = list(row)
+            for position, fn in assignment_fns:
+                new_row[position] = fn(row)
+            old = table.update(rid, new_row)
+            if old is not None:
+                if transaction is not None:
+                    transaction.record_update(table, rid, old)
+                count += 1
+        return ResultSet(rowcount=count)
+
+    def _run_delete(self, statement, transaction):
+        table = self.catalog.get_table(statement.table)
+        matches = self._where_matches(table, statement.where)
+        count = 0
+        for rid, __row in matches:
+            old = table.delete(rid)
+            if old is not None:
+                if transaction is not None:
+                    transaction.record_delete(table, rid, old)
+                count += 1
+        return ResultSet(rowcount=count)
+
+    def _run_create_table(self, statement):
+        if statement.if_not_exists and self.catalog.has_table(statement.name):
+            return ResultSet()
+        columns = [
+            Column(definition.name, ColumnType.from_name(definition.type_name))
+            for definition in statement.columns
+        ]
+        schema = TableSchema(statement.name, columns, statement.primary_key)
+        table = self.catalog.create_table(schema)
+        if schema.primary_key is not None:
+            self._create_pk_index(table, schema.primary_key)
+        return ResultSet()
+
+    def _create_pk_index(self, table, column_name):
+        position = table.schema.position(column_name)
+        fingerprint = ex.ColumnRef(None, column_name).fingerprint()
+        index = HashIndex(
+            f"{table.name}_pk",
+            table.name,
+            lambda row, _p=position: row[_p],
+            fingerprint,
+            unique=True,
+        )
+        table.attach_index(index, populate=False)
+
+    def _run_create_index(self, statement):
+        table = self.catalog.get_table(statement.table)
+        columns = [(None, name) for name in table.schema.column_names]
+        resolver = op.make_resolver(columns)
+        ctx = ex.CompileContext(resolver, self.functions)
+        if len(statement.expressions) == 1:
+            expression = statement.expressions[0]
+            key_function = expression.compile(ctx)
+            fingerprint = expression.fingerprint()
+        else:
+            fns = [expression.compile(ctx) for expression in statement.expressions]
+            key_function = lambda row, _fns=tuple(fns): tuple(fn(row) for fn in _fns)
+            fingerprint = ",".join(
+                expression.fingerprint() for expression in statement.expressions
+            )
+        if statement.using == "sorted":
+            index = SortedIndex(
+                statement.name, table.name, key_function, fingerprint,
+                statement.unique,
+            )
+        else:
+            index = HashIndex(
+                statement.name, table.name, key_function, fingerprint,
+                statement.unique,
+            )
+        table.attach_index(index)
+        return ResultSet()
+
+    def _run_drop_table(self, statement):
+        dropped = self.catalog.drop_table(statement.name)
+        if not dropped and not statement.if_exists:
+            raise BindError(f"unknown table {statement.name!r}")
+        return ResultSet()

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the relational engine."""
+
+
+class EngineError(Exception):
+    """Base class for all errors raised by the relational engine."""
+
+
+class SqlSyntaxError(EngineError):
+    """Raised when SQL text cannot be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class BindError(EngineError):
+    """Raised when a parsed statement references unknown tables or columns."""
+
+
+class TypeMismatchError(EngineError):
+    """Raised when an expression is applied to values of an unusable type."""
+
+
+class ConstraintError(EngineError):
+    """Raised when a uniqueness or primary-key constraint is violated."""
+
+
+class CatalogError(EngineError):
+    """Raised for duplicate/missing table or index definitions."""
+
+
+class LockTimeoutError(EngineError):
+    """Raised when a lock cannot be acquired within the configured timeout."""
+
+
+class TransactionError(EngineError):
+    """Raised for invalid transaction state transitions."""

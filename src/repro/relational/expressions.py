@@ -1,0 +1,804 @@
+"""Expression trees with SQL three-valued logic.
+
+Expressions appear in ``SELECT`` lists, ``WHERE``/``HAVING`` clauses, join
+conditions and index definitions.  Each node supports:
+
+* ``compile(ctx)`` — produce a fast ``row -> value`` closure, resolving
+  column references through ``ctx.resolver`` once (no per-row name lookups);
+* ``references()`` — the set of ``(qualifier, column)`` pairs it reads,
+  used by the planner for pushdown and join analysis;
+* ``fingerprint()`` — a canonical string used to match predicates against
+  expression indexes (e.g. an index over ``JSON_VAL(attr, 'name')``).
+
+NULL semantics follow SQL: comparisons and arithmetic with NULL yield NULL
+(``None``); AND/OR use Kleene logic; WHERE treats NULL as false.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.relational.errors import BindError, TypeMismatchError
+from repro.relational.index import total_order_key
+from repro.relational.schema import ColumnType, coerce_value
+
+
+class CompileContext:
+    """Everything an expression needs to compile itself.
+
+    :param resolver: callable ``(qualifier, column) -> position`` mapping a
+        column reference to its offset in the row tuple.
+    :param functions: scalar function registry ``name -> callable``.
+    :param subquery_executor: callable ``plan -> list[row]`` used by IN/EXISTS
+        subqueries (installed by the planner).
+    """
+
+    def __init__(self, resolver, functions=None, subquery_executor=None):
+        self.resolver = resolver
+        self.functions = functions or {}
+        self.subquery_executor = subquery_executor
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    def compile(self, ctx):
+        raise NotImplementedError
+
+    def references(self):
+        return set()
+
+    def fingerprint(self):
+        raise NotImplementedError(f"no fingerprint for {type(self).__name__}")
+
+    def children(self):
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Literal(Expression):
+    def __init__(self, value):
+        self.value = value
+
+    def compile(self, ctx):
+        value = self.value
+        return lambda row: value
+
+    def fingerprint(self):
+        return repr(self.value)
+
+    def __repr__(self):
+        return f"Literal({self.value!r})"
+
+
+class Parameter(Expression):
+    """A ``?`` placeholder; substituted with a Literal before planning."""
+
+    def __init__(self, index):
+        self.index = index
+
+    def compile(self, ctx):
+        raise BindError("unbound parameter reached execution")
+
+    def __repr__(self):
+        return f"Parameter({self.index})"
+
+
+class ColumnRef(Expression):
+    def __init__(self, qualifier, name):
+        self.qualifier = qualifier.lower() if qualifier else None
+        self.name = name.lower()
+
+    def compile(self, ctx):
+        position = ctx.resolver(self.qualifier, self.name)
+        return lambda row: row[position]
+
+    def references(self):
+        return {(self.qualifier, self.name)}
+
+    def fingerprint(self):
+        return f"col({self.name})"
+
+    def __repr__(self):
+        if self.qualifier:
+            return f"ColumnRef({self.qualifier}.{self.name})"
+        return f"ColumnRef({self.name})"
+
+
+_NUMERIC = (int, float)
+
+
+def _arith(op, left, right):
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return left // right
+            return result
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        if op == "||":
+            # sequence-valued left operand: append (path building); the
+            # Gremlin translator stores traversal paths as tuples
+            if isinstance(left, (list, tuple)):
+                return tuple(left) + (right,)
+            return _as_string(left) + _as_string(right)
+    except TypeError as exc:
+        raise TypeMismatchError(
+            f"cannot apply {op!r} to {type(left).__name__} and {type(right).__name__}"
+        ) from exc
+    raise TypeMismatchError(f"unknown arithmetic operator {op!r}")
+
+
+def _as_string(value):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class BinaryOp(Expression):
+    """Arithmetic and string concatenation: ``+ - * / % ||``."""
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def compile(self, ctx):
+        op = self.op
+        left = self.left.compile(ctx)
+        right = self.right.compile(ctx)
+        return lambda row: _arith(op, left(row), right(row))
+
+    def references(self):
+        return self.left.references() | self.right.references()
+
+    def fingerprint(self):
+        return f"({self.left.fingerprint()}{self.op}{self.right.fingerprint()})"
+
+
+def compare_values(op, left, right):
+    """SQL comparison with 3VL and a cross-type total order.
+
+    Returns True/False, or ``None`` when either side is NULL.
+    """
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return _sql_equal(left, right)
+    if op in ("<>", "!="):
+        return not _sql_equal(left, right)
+    left_key = total_order_key(left)
+    right_key = total_order_key(right)
+    if op == "<":
+        return left_key < right_key
+    if op == "<=":
+        return left_key <= right_key
+    if op == ">":
+        return right_key < left_key
+    if op == ">=":
+        return right_key <= left_key
+    raise TypeMismatchError(f"unknown comparison operator {op!r}")
+
+
+def _sql_equal(left, right):
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right if isinstance(left, bool) and isinstance(right, bool) else False
+    if isinstance(left, _NUMERIC) and isinstance(right, _NUMERIC):
+        return left == right
+    if type(left) is type(right):
+        return left == right
+    if isinstance(left, str) != isinstance(right, str):
+        return False
+    return left == right
+
+
+class Comparison(Expression):
+    def __init__(self, op, left, right):
+        self.op = "<>" if op == "!=" else op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def compile(self, ctx):
+        op = self.op
+        left = self.left.compile(ctx)
+        right = self.right.compile(ctx)
+        return lambda row: compare_values(op, left(row), right(row))
+
+    def references(self):
+        return self.left.references() | self.right.references()
+
+    def fingerprint(self):
+        return f"({self.left.fingerprint()}{self.op}{self.right.fingerprint()})"
+
+
+class And(Expression):
+    def __init__(self, items):
+        self.items = list(items)
+
+    def children(self):
+        return tuple(self.items)
+
+    def compile(self, ctx):
+        compiled = [item.compile(ctx) for item in self.items]
+
+        def evaluate(row):
+            saw_null = False
+            for fn in compiled:
+                value = fn(row)
+                if value is None:
+                    saw_null = True
+                elif not value:
+                    return False
+            return None if saw_null else True
+
+        return evaluate
+
+    def references(self):
+        refs = set()
+        for item in self.items:
+            refs |= item.references()
+        return refs
+
+    def fingerprint(self):
+        return "and(" + ",".join(item.fingerprint() for item in self.items) + ")"
+
+
+class Or(Expression):
+    def __init__(self, items):
+        self.items = list(items)
+
+    def children(self):
+        return tuple(self.items)
+
+    def compile(self, ctx):
+        compiled = [item.compile(ctx) for item in self.items]
+
+        def evaluate(row):
+            saw_null = False
+            for fn in compiled:
+                value = fn(row)
+                if value is None:
+                    saw_null = True
+                elif value:
+                    return True
+            return None if saw_null else False
+
+        return evaluate
+
+    def references(self):
+        refs = set()
+        for item in self.items:
+            refs |= item.references()
+        return refs
+
+    def fingerprint(self):
+        return "or(" + ",".join(item.fingerprint() for item in self.items) + ")"
+
+
+class Not(Expression):
+    def __init__(self, operand):
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def compile(self, ctx):
+        operand = self.operand.compile(ctx)
+
+        def evaluate(row):
+            value = operand(row)
+            if value is None:
+                return None
+            return not value
+
+        return evaluate
+
+    def references(self):
+        return self.operand.references()
+
+    def fingerprint(self):
+        return f"not({self.operand.fingerprint()})"
+
+
+class IsNull(Expression):
+    def __init__(self, operand, negated=False):
+        self.operand = operand
+        self.negated = negated
+
+    def children(self):
+        return (self.operand,)
+
+    def compile(self, ctx):
+        operand = self.operand.compile(ctx)
+        if self.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
+    def references(self):
+        return self.operand.references()
+
+    def fingerprint(self):
+        word = "isnotnull" if self.negated else "isnull"
+        return f"{word}({self.operand.fingerprint()})"
+
+
+def like_to_regex(pattern):
+    """Translate a SQL LIKE pattern to a compiled, anchored regex."""
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+
+class Like(Expression):
+    def __init__(self, operand, pattern, negated=False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+
+    def children(self):
+        return (self.operand, self.pattern)
+
+    def compile(self, ctx):
+        operand = self.operand.compile(ctx)
+        pattern = self.pattern.compile(ctx)
+        negated = self.negated
+        cache = {}
+
+        def evaluate(row):
+            value = operand(row)
+            pat = pattern(row)
+            if value is None or pat is None:
+                return None
+            regex = cache.get(pat)
+            if regex is None:
+                regex = cache[pat] = like_to_regex(pat)
+            matched = regex.match(_as_string(value)) is not None
+            return (not matched) if negated else matched
+
+        return evaluate
+
+    def references(self):
+        return self.operand.references() | self.pattern.references()
+
+    def fingerprint(self):
+        word = "notlike" if self.negated else "like"
+        return f"{word}({self.operand.fingerprint()},{self.pattern.fingerprint()})"
+
+
+class InList(Expression):
+    def __init__(self, operand, items, negated=False):
+        self.operand = operand
+        self.items = list(items)
+        self.negated = negated
+
+    def children(self):
+        return (self.operand, *self.items)
+
+    def compile(self, ctx):
+        operand = self.operand.compile(ctx)
+        compiled = [item.compile(ctx) for item in self.items]
+        negated = self.negated
+
+        def evaluate(row):
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for fn in compiled:
+                candidate = fn(row)
+                if candidate is None:
+                    saw_null = True
+                elif compare_values("=", value, candidate):
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return evaluate
+
+    def references(self):
+        refs = self.operand.references()
+        for item in self.items:
+            refs |= item.references()
+        return refs
+
+    def fingerprint(self):
+        inner = ",".join(item.fingerprint() for item in self.items)
+        word = "notin" if self.negated else "in"
+        return f"{word}({self.operand.fingerprint()},[{inner}])"
+
+
+class InSubquery(Expression):
+    """``x IN (SELECT ...)`` — the subquery plan is evaluated lazily once."""
+
+    def __init__(self, operand, plan, negated=False):
+        self.operand = operand
+        self.plan = plan
+        self.negated = negated
+
+    def children(self):
+        return (self.operand,)
+
+    def compile(self, ctx):
+        operand = self.operand.compile(ctx)
+        negated = self.negated
+        executor = ctx.subquery_executor
+        if executor is None:
+            raise BindError("subquery used in a context without an executor")
+        plan = self.plan
+        state = {}
+
+        def evaluate(row):
+            if "values" not in state:
+                values = set()
+                saw_null = False
+                for subrow in executor(plan):
+                    if subrow[0] is None:
+                        saw_null = True
+                    else:
+                        values.add(subrow[0])
+                state["values"] = values
+                state["saw_null"] = saw_null
+            value = operand(row)
+            if value is None:
+                return None
+            if value in state["values"]:
+                return not negated
+            if state["saw_null"]:
+                return None
+            return negated
+
+        return evaluate
+
+    def references(self):
+        return self.operand.references()
+
+
+class Exists(Expression):
+    """``EXISTS (SELECT ...)`` for non-correlated subqueries."""
+
+    def __init__(self, plan, negated=False):
+        self.plan = plan
+        self.negated = negated
+
+    def compile(self, ctx):
+        executor = ctx.subquery_executor
+        if executor is None:
+            raise BindError("subquery used in a context without an executor")
+        plan = self.plan
+        negated = self.negated
+        state = {}
+
+        def evaluate(row):
+            if "result" not in state:
+                state["result"] = any(True for __ in executor(plan))
+            return (not state["result"]) if negated else state["result"]
+
+        return evaluate
+
+
+class Cast(Expression):
+    def __init__(self, operand, target_type):
+        self.operand = operand
+        self.target_type = target_type
+
+    def children(self):
+        return (self.operand,)
+
+    def compile(self, ctx):
+        operand = self.operand.compile(ctx)
+        target = self.target_type
+
+        def evaluate(row):
+            value = operand(row)
+            if value is None:
+                return None
+            try:
+                return coerce_value(value, target)
+            except TypeMismatchError:
+                return None
+
+        return evaluate
+
+    def references(self):
+        return self.operand.references()
+
+    def fingerprint(self):
+        return f"cast({self.operand.fingerprint()},{self.target_type.value})"
+
+
+class CaseWhen(Expression):
+    def __init__(self, whens, otherwise=None):
+        self.whens = list(whens)
+        self.otherwise = otherwise
+
+    def children(self):
+        kids = []
+        for cond, result in self.whens:
+            kids.append(cond)
+            kids.append(result)
+        if self.otherwise is not None:
+            kids.append(self.otherwise)
+        return tuple(kids)
+
+    def compile(self, ctx):
+        compiled = [(cond.compile(ctx), result.compile(ctx)) for cond, result in self.whens]
+        otherwise = self.otherwise.compile(ctx) if self.otherwise is not None else None
+
+        def evaluate(row):
+            for cond, result in compiled:
+                if cond(row):
+                    return result(row)
+            if otherwise is not None:
+                return otherwise(row)
+            return None
+
+        return evaluate
+
+    def references(self):
+        refs = set()
+        for child in self.children():
+            refs |= child.references()
+        return refs
+
+
+class ScalarSubquery(Expression):
+    """``(SELECT ...)`` used as a scalar value: first column of first row."""
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def compile(self, ctx):
+        executor = ctx.subquery_executor
+        if executor is None:
+            raise BindError("subquery used in a context without an executor")
+        plan = self.plan
+        state = {}
+
+        def evaluate(row):
+            if "value" not in state:
+                rows = list(executor(plan))
+                state["value"] = rows[0][0] if rows else None
+            return state["value"]
+
+        return evaluate
+
+
+class FuncCall(Expression):
+    """A scalar function call resolved from the database registry.
+
+    ``star`` marks ``COUNT(*)``; ``distinct`` marks ``COUNT(DISTINCT x)`` and
+    friends.  Both only make sense for aggregates and are interpreted by the
+    binder.
+    """
+
+    def __init__(self, name, args, star=False, distinct=False):
+        self.name = name.lower()
+        self.args = list(args)
+        self.star = star
+        self.distinct = distinct
+
+    def children(self):
+        return tuple(self.args)
+
+    def compile(self, ctx):
+        if self.name == "coalesce":
+            compiled = [arg.compile(ctx) for arg in self.args]
+
+            def evaluate(row):
+                for fn in compiled:
+                    value = fn(row)
+                    if value is not None:
+                        return value
+                return None
+
+            return evaluate
+        function = ctx.functions.get(self.name)
+        if function is None:
+            raise BindError(f"unknown function {self.name!r}")
+        compiled = [arg.compile(ctx) for arg in self.args]
+        return lambda row: function(*[fn(row) for fn in compiled])
+
+    def references(self):
+        refs = set()
+        for arg in self.args:
+            refs |= arg.references()
+        return refs
+
+    def fingerprint(self):
+        inner = ",".join(arg.fingerprint() for arg in self.args)
+        return f"{self.name}({inner})"
+
+    def __repr__(self):
+        return f"FuncCall({self.name}, {self.args!r})"
+
+
+# ----------------------------------------------------------------------
+# built-in scalar functions
+# ----------------------------------------------------------------------
+def json_val(document, path):
+    """Extract a value from a JSON document by (dotted) key path.
+
+    Missing keys or non-object intermediates yield NULL, matching the
+    permissive behaviour of DB2's JSON_VAL / SQLite's json_extract.
+    """
+    if document is None or path is None:
+        return None
+    current = document
+    for part in str(path).split("."):
+        if isinstance(current, dict):
+            current = current.get(part)
+        elif isinstance(current, list):
+            try:
+                current = current[int(part)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+        if current is None:
+            return None
+    return current
+
+
+def _sql_upper(value):
+    return value.upper() if isinstance(value, str) else value
+
+
+def _sql_lower(value):
+    return value.lower() if isinstance(value, str) else value
+
+
+def _sql_length(value):
+    if value is None:
+        return None
+    return len(_as_string(value))
+
+
+def _sql_abs(value):
+    if value is None:
+        return None
+    return abs(value)
+
+
+def _sql_substr(value, start, length=None):
+    if value is None or start is None:
+        return None
+    text = _as_string(value)
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def _sql_sqrt(value):
+    if value is None or value < 0:
+        return None
+    return math.sqrt(value)
+
+
+def is_simple_path(path):
+    """UDF used by the Gremlin translator: True iff *path* has no repeats."""
+    if path is None:
+        return None
+    return 1 if len(path) == len(set(path)) else 0
+
+
+def path_init(value):
+    """Start a traversal path: a one-element tuple."""
+    return (value,)
+
+
+def element_at(sequence, index):
+    """0-based element access with NULL on out-of-range / NULL input."""
+    if sequence is None or index is None:
+        return None
+    try:
+        return sequence[int(index)]
+    except (IndexError, TypeError):
+        return None
+
+
+def path_prefix(sequence, index):
+    """First ``index + 1`` elements of a path (used by the back pipe)."""
+    if sequence is None or index is None:
+        return None
+    return tuple(sequence[: int(index) + 1])
+
+
+def path_length(sequence):
+    if sequence is None:
+        return None
+    return len(sequence)
+
+
+def make_list(*values):
+    """Variadic tuple constructor (used by the Gremlin select pipe)."""
+    return tuple(values)
+
+
+def default_functions():
+    """The scalar function registry every new Database starts with."""
+    return {
+        "json_val": json_val,
+        "upper": _sql_upper,
+        "lower": _sql_lower,
+        "length": _sql_length,
+        "abs": _sql_abs,
+        "substr": _sql_substr,
+        "sqrt": _sql_sqrt,
+        "issimplepath": is_simple_path,
+        "path_init": path_init,
+        "element_at": element_at,
+        "path_prefix": path_prefix,
+        "path_length": path_length,
+        "make_list": make_list,
+    }
+
+
+AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max"}
+
+
+def substitute_parameters(expression, params):
+    """Replace :class:`Parameter` nodes with Literals from *params* in place.
+
+    Returns the (possibly replaced) expression.
+    """
+    if isinstance(expression, Parameter):
+        if params is None or expression.index >= len(params):
+            raise BindError(
+                f"statement requires parameter {expression.index + 1}, "
+                f"got {0 if params is None else len(params)}"
+            )
+        return Literal(params[expression.index])
+    for attr in ("left", "right", "operand", "pattern", "otherwise"):
+        child = getattr(expression, attr, None)
+        if isinstance(child, Expression):
+            setattr(expression, attr, substitute_parameters(child, params))
+    for attr in ("items", "args"):
+        children = getattr(expression, attr, None)
+        if isinstance(children, list):
+            for i, child in enumerate(children):
+                if isinstance(child, Expression):
+                    children[i] = substitute_parameters(child, params)
+    whens = getattr(expression, "whens", None)
+    if isinstance(whens, list):
+        for i, (cond, result) in enumerate(whens):
+            whens[i] = (
+                substitute_parameters(cond, params),
+                substitute_parameters(result, params),
+            )
+    return expression

@@ -1,0 +1,239 @@
+"""Secondary indexes: hash (equality), sorted (range) and expression indexes.
+
+Index keys are computed by a *key function* over the full row tuple.  For a
+plain column index the key function projects one column; for an expression
+index (e.g. over ``JSON_VAL(attr, 'name')``) it evaluates the indexed
+expression.  The planner matches predicates against an index through its
+*fingerprint*, a canonical string of the indexed expression(s).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.relational.errors import ConstraintError
+
+
+class _TotalOrderKey:
+    """Wrap heterogeneous values so they sort without TypeError.
+
+    Values order first by a type rank (None < bool < numbers < str < other),
+    then by value within the rank.
+    """
+
+    __slots__ = ("rank", "value")
+
+    def __init__(self, value):
+        if value is None:
+            self.rank, self.value = 0, 0
+        elif isinstance(value, bool):
+            self.rank, self.value = 1, int(value)
+        elif isinstance(value, (int, float)):
+            self.rank, self.value = 2, value
+        elif isinstance(value, str):
+            self.rank, self.value = 3, value
+        else:
+            self.rank, self.value = 4, repr(value)
+
+    def __lt__(self, other):
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        return self.value < other.value
+
+    def __eq__(self, other):
+        return self.rank == other.rank and self.value == other.value
+
+    def __le__(self, other):
+        return self == other or self < other
+
+    def __hash__(self):
+        return hash((self.rank, self.value))
+
+
+def total_order_key(value):
+    """Public helper: a sort key valid across mixed value types."""
+    if isinstance(value, tuple):
+        return tuple(_TotalOrderKey(part) for part in value)
+    return _TotalOrderKey(value)
+
+
+class Index:
+    """Base class for all secondary indexes."""
+
+    kind = "abstract"
+
+    def __init__(self, name, table_name, key_function, fingerprint, unique=False):
+        self.name = name.lower()
+        self.table_name = table_name.lower()
+        self.key_function = key_function
+        self.fingerprint = fingerprint
+        self.unique = unique
+
+    def key_of(self, row):
+        return self.key_function(row)
+
+    def insert(self, rid, row):
+        raise NotImplementedError
+
+    def delete(self, rid, row):
+        raise NotImplementedError
+
+    def update(self, rid, old_row, new_row):
+        old_key = self.key_of(old_row)
+        new_key = self.key_of(new_row)
+        if old_key == new_key:
+            return
+        self.delete(rid, old_row)
+        self.insert(rid, new_row)
+
+    def lookup(self, key):
+        """Return an iterable of RIDs whose index key equals *key*."""
+        raise NotImplementedError
+
+
+class HashIndex(Index):
+    """Equality index: dict from key to the set of matching RIDs.
+
+    ``None`` keys are indexed too (lookups for them are used by ``IS NULL``
+    style predicates only when explicitly requested by the planner).
+    """
+
+    kind = "hash"
+
+    def __init__(self, name, table_name, key_function, fingerprint, unique=False):
+        super().__init__(name, table_name, key_function, fingerprint, unique)
+        self._buckets: dict[object, list] = {}
+
+    def __len__(self):
+        return sum(len(rids) for rids in self._buckets.values())
+
+    def insert(self, rid, row):
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [rid]
+            return
+        if self.unique and key is not None:
+            raise ConstraintError(
+                f"unique index {self.name!r} violated for key {key!r}"
+            )
+        bucket.append(rid)
+
+    def delete(self, rid, row):
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return
+        try:
+            bucket.remove(rid)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key):
+        return self._buckets.get(key, ())
+
+    def distinct_keys(self):
+        return len(self._buckets)
+
+
+class SortedIndex(Index):
+    """Range index: a sorted list of ``(order_key, rid, key)`` entries.
+
+    Entries order by ``(order_key, rid)`` so raw keys (which may be
+    incomparable across types) are never compared directly.  ``None`` keys
+    sort first and are skipped by range scans, matching SQL semantics where
+    comparisons with NULL are unknown.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, name, table_name, key_function, fingerprint, unique=False):
+        super().__init__(name, table_name, key_function, fingerprint, unique)
+        self._entries: list[tuple] = []
+
+    def __len__(self):
+        return len(self._entries)
+
+    def insert(self, rid, row):
+        key = self.key_of(row)
+        order = total_order_key(key)
+        if self.unique and key is not None:
+            lo = bisect.bisect_left(self._entries, (order,))
+            if lo < len(self._entries) and self._entries[lo][0] == order:
+                raise ConstraintError(
+                    f"unique index {self.name!r} violated for key {key!r}"
+                )
+        bisect.insort(self._entries, (order, rid, key))
+
+    def delete(self, rid, row):
+        key = self.key_of(row)
+        order = total_order_key(key)
+        lo = bisect.bisect_left(self._entries, (order,))
+        while lo < len(self._entries) and self._entries[lo][0] == order:
+            if self._entries[lo][1] == rid:
+                del self._entries[lo]
+                return
+            lo += 1
+
+    def lookup(self, key):
+        order = total_order_key(key)
+        lo = bisect.bisect_left(self._entries, (order,))
+        rids = []
+        while lo < len(self._entries) and self._entries[lo][0] == order:
+            rids.append(self._entries[lo][1])
+            lo += 1
+        return rids
+
+    def range_scan(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
+        """Yield RIDs with keys in the given (partially open) range."""
+        if low is not None:
+            low_order = total_order_key(low)
+            if low_inclusive:
+                lo = bisect.bisect_left(self._entries, (low_order,))
+            else:
+                lo = bisect.bisect_right(
+                    self._entries, (low_order, (float("inf"), float("inf")))
+                )
+        else:
+            lo = 0
+        high_order = total_order_key(high) if high is not None else None
+        for position in range(lo, len(self._entries)):
+            order, rid, key = self._entries[position]
+            if high_order is not None:
+                if high_inclusive:
+                    if high_order < order:
+                        break
+                elif not (order < high_order):
+                    break
+            if key is None:
+                continue
+            yield rid
+
+    def distinct_keys(self):
+        seen = 0
+        previous = object()
+        for __, __rid, key in self._entries:
+            if key != previous:
+                seen += 1
+                previous = key
+        return seen
+
+
+def column_key_function(position):
+    """Key function projecting a single column by ordinal position."""
+
+    def key(row, _position=position):
+        return row[_position]
+
+    return key
+
+
+def composite_key_function(positions):
+    """Key function projecting several columns as a tuple."""
+
+    def key(row, _positions=tuple(positions)):
+        return tuple(row[p] for p in _positions)
+
+    return key

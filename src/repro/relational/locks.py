@@ -1,0 +1,110 @@
+"""Table-level reader/writer locks.
+
+The engine uses strict two-phase locking at table granularity: statements in
+autocommit mode lock for their own duration; statements inside an explicit
+transaction hold locks until commit/rollback.  Lock acquisition is globally
+ordered by table name, which makes deadlock impossible for single-statement
+lock sets and for transactions that pre-declare their tables.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.relational.errors import LockTimeoutError
+
+
+class ReadWriteLock:
+    """A classic reader/writer lock with writer preference."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self, timeout=None):
+        with self._condition:
+            ok = self._condition.wait_for(
+                lambda: not self._writer and self._waiting_writers == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                raise LockTimeoutError(f"read lock timeout on {self.name!r}")
+            self._readers += 1
+
+    def release_read(self):
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self, timeout=None):
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                ok = self._condition.wait_for(
+                    lambda: not self._writer and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    raise LockTimeoutError(f"write lock timeout on {self.name!r}")
+                self._writer = True
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self):
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+
+class LockManager:
+    """Owns one ReadWriteLock per table plus a catalog lock."""
+
+    def __init__(self, timeout=30.0):
+        self.timeout = timeout
+        self._locks: dict[str, ReadWriteLock] = {}
+        self._guard = threading.Lock()
+        self.catalog_lock = ReadWriteLock("<catalog>")
+
+    def lock_for(self, table_name):
+        with self._guard:
+            lock = self._locks.get(table_name)
+            if lock is None:
+                lock = self._locks[table_name] = ReadWriteLock(table_name)
+            return lock
+
+    def acquire(self, read_tables, write_tables):
+        """Acquire locks for a statement; returns an opaque release token.
+
+        Write locks subsume read locks on the same table.  Locks are taken in
+        global name order to avoid deadlock.
+        """
+        writes = {name.lower() for name in write_tables}
+        reads = {name.lower() for name in read_tables} - writes
+        plan = sorted(
+            [(name, "w") for name in writes] + [(name, "r") for name in reads]
+        )
+        acquired = []
+        try:
+            for name, mode in plan:
+                lock = self.lock_for(name)
+                if mode == "w":
+                    lock.acquire_write(self.timeout)
+                else:
+                    lock.acquire_read(self.timeout)
+                acquired.append((lock, mode))
+        except Exception:
+            self.release(acquired)
+            raise
+        return acquired
+
+    @staticmethod
+    def release(token):
+        for lock, mode in reversed(token):
+            if mode == "w":
+                lock.release_write()
+            else:
+                lock.release_read()

@@ -1,0 +1,581 @@
+"""Physical plan operators.
+
+Each operator exposes:
+
+* ``columns`` — output schema as a list of ``(qualifier, name)`` pairs,
+* ``est_rows`` — the planner's cardinality estimate,
+* ``rows()`` — an iterator of output tuples.
+
+Streaming operators (scan, filter, project, unnest, union-all, limit) are
+generators; blocking operators (hash join build side, sort, distinct,
+aggregate, set ops) materialize what they must.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import BindError
+from repro.relational.index import total_order_key
+
+
+def make_resolver(columns):
+    """Build a ``(qualifier, name) -> position`` resolver over *columns*.
+
+    Qualified lookups must match exactly; unqualified lookups must be
+    unambiguous across the schema.
+    """
+    qualified = {}
+    unqualified = {}
+    for position, (qualifier, name) in enumerate(columns):
+        if qualifier is not None:
+            qualified[(qualifier, name)] = position
+        unqualified.setdefault(name, []).append(position)
+
+    def resolver(qualifier, name):
+        if qualifier is not None:
+            key = (qualifier, name)
+            if key in qualified:
+                return qualified[key]
+            raise BindError(f"unknown column {qualifier}.{name}")
+        positions = unqualified.get(name)
+        if not positions:
+            raise BindError(f"unknown column {name}")
+        if len(positions) > 1:
+            raise BindError(f"ambiguous column {name}")
+        return positions[0]
+
+    return resolver
+
+
+def make_hashable(value):
+    """Convert a value to a hashable form for set/group operations."""
+    if isinstance(value, (list, tuple)):
+        return tuple(make_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, make_hashable(val)) for key, val in value.items()))
+    if isinstance(value, set):
+        return frozenset(make_hashable(item) for item in value)
+    return value
+
+
+def hashable_row(row):
+    return tuple(make_hashable(value) for value in row)
+
+
+class Operator:
+    columns = ()
+    est_rows = 0
+
+    def rows(self):
+        raise NotImplementedError
+
+    def children_ops(self):
+        """Child operators, for plan inspection / EXPLAIN."""
+        kids = []
+        for attr in ("child", "left", "right", "outer"):
+            value = getattr(self, attr, None)
+            if isinstance(value, Operator):
+                kids.append(value)
+        for value in getattr(self, "children", ()) or ():
+            if isinstance(value, Operator):
+                kids.append(value)
+        return kids
+
+    def describe(self):
+        """One-line summary used by EXPLAIN."""
+        return type(self).__name__
+
+
+def explain_plan(plan, indent=0):
+    """Render an operator tree as an indented text plan."""
+    lines = [f"{'  ' * indent}{plan.describe()}  (est_rows={plan.est_rows})"]
+    for child in plan.children_ops():
+        lines.extend(explain_plan(child, indent + 1).splitlines())
+    return "\n".join(lines)
+
+
+class SeqScan(Operator):
+    """Full scan of a heap table, optionally with a pushed-down predicate."""
+
+    def __init__(self, table, qualifier, predicate=None, est_rows=None):
+        self.table = table
+        self.qualifier = qualifier
+        self.predicate = predicate
+        self.columns = [(qualifier, name) for name in table.schema.column_names]
+        self.est_rows = est_rows if est_rows is not None else table.live_rows
+
+    def describe(self):
+        suffix = " filtered" if self.predicate is not None else ""
+        return f"SeqScan({self.table.name} as {self.qualifier}){suffix}"
+
+    def rows(self):
+        predicate = self.predicate
+        if predicate is None:
+            yield from self.table.scan_rows()
+            return
+        for row in self.table.scan_rows():
+            if predicate(row):
+                yield row
+
+
+class IndexEqScan(Operator):
+    """Equality lookup through a hash or sorted index with constant keys."""
+
+    def __init__(self, table, qualifier, index, keys, predicate=None, est_rows=1):
+        self.table = table
+        self.qualifier = qualifier
+        self.index = index
+        self.keys = keys  # list of constant keys to probe
+        self.predicate = predicate
+        self.columns = [(qualifier, name) for name in table.schema.column_names]
+        self.est_rows = est_rows
+
+    def describe(self):
+        return (
+            f"IndexEqScan({self.table.name} as {self.qualifier} "
+            f"via {self.index.name})"
+        )
+
+    def rows(self):
+        table = self.table
+        predicate = self.predicate
+        for key in self.keys:
+            for rid in self.index.lookup(key):
+                row = table.get(rid)
+                if row is None:
+                    continue
+                if predicate is None or predicate(row):
+                    yield row
+
+
+class IndexRangeScan(Operator):
+    """Range scan through a sorted index."""
+
+    def __init__(self, table, qualifier, index, low, high, low_inclusive,
+                 high_inclusive, predicate=None, est_rows=1):
+        self.table = table
+        self.qualifier = qualifier
+        self.index = index
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+        self.predicate = predicate
+        self.columns = [(qualifier, name) for name in table.schema.column_names]
+        self.est_rows = est_rows
+
+    def describe(self):
+        return (
+            f"IndexRangeScan({self.table.name} as {self.qualifier} "
+            f"via {self.index.name})"
+        )
+
+    def rows(self):
+        table = self.table
+        predicate = self.predicate
+        for rid in self.index.range_scan(
+            self.low, self.high, self.low_inclusive, self.high_inclusive
+        ):
+            row = table.get(rid)
+            if row is None:
+                continue
+            if predicate is None or predicate(row):
+                yield row
+
+
+class MaterializedScan(Operator):
+    """Scan over an in-memory row list (CTE results, VALUES, subqueries)."""
+
+    def __init__(self, rows_list, columns, predicate=None):
+        self._rows = rows_list
+        self.columns = list(columns)
+        self.predicate = predicate
+        self.est_rows = len(rows_list)
+
+    def describe(self):
+        return f"MaterializedScan({len(self._rows)} rows)"
+
+    def rows(self):
+        if self.predicate is None:
+            return iter(self._rows)
+        predicate = self.predicate
+        return (row for row in self._rows if predicate(row))
+
+
+class FilterOp(Operator):
+    def __init__(self, child, predicate, est_rows=None):
+        self.child = child
+        self.predicate = predicate
+        self.columns = child.columns
+        self.est_rows = est_rows if est_rows is not None else max(
+            1, child.est_rows // 3
+        )
+
+    def rows(self):
+        predicate = self.predicate
+        for row in self.child.rows():
+            if predicate(row):
+                yield row
+
+
+class ProjectOp(Operator):
+    def __init__(self, child, value_fns, columns):
+        self.child = child
+        self.value_fns = value_fns
+        self.columns = list(columns)
+        self.est_rows = child.est_rows
+
+    def rows(self):
+        fns = self.value_fns
+        for row in self.child.rows():
+            yield tuple(fn(row) for fn in fns)
+
+
+class HashJoinOp(Operator):
+    """Equi hash join; builds on the right child.
+
+    ``kind`` is ``'inner'`` or ``'left'`` (left outer: unmatched left rows are
+    padded with NULLs).  ``residual`` is an optional extra predicate over the
+    combined row.
+    """
+
+    def __init__(self, left, right, left_key_fns, right_key_fns, kind="inner",
+                 residual=None, est_rows=None):
+        self.left = left
+        self.right = right
+        self.left_key_fns = left_key_fns
+        self.right_key_fns = right_key_fns
+        self.kind = kind
+        self.residual = residual
+        self.columns = list(left.columns) + list(right.columns)
+        if est_rows is None:
+            est_rows = max(left.est_rows, right.est_rows)
+        self.est_rows = est_rows
+
+    def describe(self):
+        return f"HashJoin[{self.kind}]"
+
+    def rows(self):
+        build = {}
+        right_keys = self.right_key_fns
+        for row in self.right.rows():
+            key = tuple(make_hashable(fn(row)) for fn in right_keys)
+            if any(part is None for part in key):
+                continue  # NULL never joins
+            build.setdefault(key, []).append(row)
+        left_keys = self.left_key_fns
+        residual = self.residual
+        pad = (None,) * len(self.right.columns)
+        left_outer = self.kind == "left"
+        for left_row in self.left.rows():
+            key = tuple(make_hashable(fn(left_row)) for fn in left_keys)
+            matches = build.get(key) if not any(part is None for part in key) else None
+            matched = False
+            if matches:
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if residual is None or residual(combined):
+                        matched = True
+                        yield combined
+            if left_outer and not matched:
+                yield left_row + pad
+
+
+class NestedLoopJoinOp(Operator):
+    """Fallback join for non-equi conditions; right side is materialized."""
+
+    def __init__(self, left, right, condition=None, kind="inner", est_rows=None):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.columns = list(left.columns) + list(right.columns)
+        if est_rows is None:
+            est_rows = max(1, left.est_rows * max(right.est_rows, 1))
+        self.est_rows = est_rows
+
+    def rows(self):
+        right_rows = list(self.right.rows())
+        condition = self.condition
+        pad = (None,) * len(self.right.columns)
+        left_outer = self.kind == "left"
+        for left_row in self.left.rows():
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if condition is None or condition(combined):
+                    matched = True
+                    yield combined
+            if left_outer and not matched:
+                yield left_row + pad
+
+
+class IndexNLJoinOp(Operator):
+    """Index nested-loop join: probe an index of the inner base table with a
+    key computed from each outer row."""
+
+    def __init__(self, outer, table, qualifier, index, outer_key_fns,
+                 residual=None, kind="inner", est_rows=None):
+        self.outer = outer
+        self.table = table
+        self.qualifier = qualifier
+        self.index = index
+        self.outer_key_fns = outer_key_fns
+        self.residual = residual
+        self.kind = kind
+        inner_columns = [(qualifier, name) for name in table.schema.column_names]
+        self.columns = list(outer.columns) + inner_columns
+        self._inner_width = len(inner_columns)
+        self.est_rows = est_rows if est_rows is not None else outer.est_rows
+
+    def describe(self):
+        return (
+            f"IndexNLJoin[{self.kind}]({self.table.name} as {self.qualifier} "
+            f"via {self.index.name})"
+        )
+
+    def rows(self):
+        table = self.table
+        index = self.index
+        key_fns = self.outer_key_fns
+        residual = self.residual
+        pad = (None,) * self._inner_width
+        left_outer = self.kind == "left"
+        single = len(key_fns) == 1
+        for outer_row in self.outer.rows():
+            if single:
+                key = key_fns[0](outer_row)
+                null_key = key is None
+            else:
+                key = tuple(fn(outer_row) for fn in key_fns)
+                null_key = any(part is None for part in key)
+            matched = False
+            if not null_key:
+                for rid in index.lookup(key):
+                    inner_row = table.get(rid)
+                    if inner_row is None:
+                        continue
+                    combined = outer_row + inner_row
+                    if residual is None or residual(combined):
+                        matched = True
+                        yield combined
+            if left_outer and not matched:
+                yield outer_row + pad
+
+
+class LateralUnnestOp(Operator):
+    """Lateral ``TABLE(VALUES (e1), (e2), ...) AS alias(col,...)``.
+
+    For each input row, evaluates every VALUES row (whose expressions may
+    reference the input row) and emits input + values concatenated.
+    """
+
+    def __init__(self, child, rows_of_fns, columns):
+        self.child = child
+        self.rows_of_fns = rows_of_fns
+        self.columns = list(child.columns) + list(columns)
+        self.est_rows = child.est_rows * max(1, len(rows_of_fns))
+
+    def rows(self):
+        rows_of_fns = self.rows_of_fns
+        for row in self.child.rows():
+            for fns in rows_of_fns:
+                yield row + tuple(fn(row) for fn in fns)
+
+
+class UnionAllOp(Operator):
+    def __init__(self, children):
+        self.children = children
+        self.columns = list(children[0].columns)
+        self.est_rows = sum(child.est_rows for child in children)
+
+    def rows(self):
+        for child in self.children:
+            yield from child.rows()
+
+
+class SetOpOp(Operator):
+    """UNION / INTERSECT / EXCEPT with SQL set (distinct) semantics."""
+
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.columns = list(left.columns)
+        self.est_rows = max(left.est_rows, right.est_rows)
+
+    def rows(self):
+        if self.op == "union":
+            seen = set()
+            for child in (self.left, self.right):
+                for row in child.rows():
+                    key = hashable_row(row)
+                    if key not in seen:
+                        seen.add(key)
+                        yield row
+            return
+        right_set = {hashable_row(row) for row in self.right.rows()}
+        emitted = set()
+        if self.op == "intersect":
+            for row in self.left.rows():
+                key = hashable_row(row)
+                if key in right_set and key not in emitted:
+                    emitted.add(key)
+                    yield row
+        elif self.op == "except":
+            for row in self.left.rows():
+                key = hashable_row(row)
+                if key not in right_set and key not in emitted:
+                    emitted.add(key)
+                    yield row
+        else:
+            raise BindError(f"unknown set operation {self.op!r}")
+
+
+class DistinctOp(Operator):
+    def __init__(self, child):
+        self.child = child
+        self.columns = child.columns
+        self.est_rows = max(1, child.est_rows // 2)
+
+    def rows(self):
+        seen = set()
+        for row in self.child.rows():
+            key = hashable_row(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+
+class _AggState:
+    """Accumulator for one aggregate call within one group."""
+
+    __slots__ = ("kind", "distinct", "count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, kind, distinct):
+        self.kind = kind
+        self.distinct = distinct
+        self.count = 0
+        self.total = None
+        self.minimum = None
+        self.maximum = None
+        self.seen = set() if distinct else None
+
+    def add(self, value):
+        if self.kind == "count_star":
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            key = make_hashable(value)
+            if key in self.seen:
+                return
+            self.seen.add(key)
+        self.count += 1
+        if self.kind in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.kind == "min":
+            if self.minimum is None or total_order_key(value) < total_order_key(
+                self.minimum
+            ):
+                self.minimum = value
+        elif self.kind == "max":
+            if self.maximum is None or total_order_key(self.maximum) < total_order_key(
+                value
+            ):
+                self.maximum = value
+
+    def result(self):
+        if self.kind in ("count", "count_star"):
+            return self.count
+        if self.kind == "sum":
+            return self.total
+        if self.kind == "avg":
+            return None if self.count == 0 else self.total / self.count
+        if self.kind == "min":
+            return self.minimum
+        if self.kind == "max":
+            return self.maximum
+        raise BindError(f"unknown aggregate {self.kind!r}")
+
+
+class AggregateOp(Operator):
+    """Hash aggregation.
+
+    Output row layout: group-by values first, then one column per aggregate
+    spec.  ``agg_specs`` is a list of ``(kind, value_fn_or_None, distinct)``;
+    ``kind == 'count_star'`` needs no value function.
+    """
+
+    def __init__(self, child, group_fns, agg_specs, columns):
+        self.child = child
+        self.group_fns = group_fns
+        self.agg_specs = agg_specs
+        self.columns = list(columns)
+        self.est_rows = max(1, child.est_rows // 10) if group_fns else 1
+
+    def rows(self):
+        groups = {}
+        group_fns = self.group_fns
+        specs = self.agg_specs
+        for row in self.child.rows():
+            key = tuple(make_hashable(fn(row)) for fn in group_fns)
+            state = groups.get(key)
+            if state is None:
+                group_values = tuple(fn(row) for fn in group_fns)
+                state = (
+                    group_values,
+                    [_AggState(kind, distinct) for kind, __, distinct in specs],
+                )
+                groups[key] = state
+            for (kind, value_fn, __), acc in zip(specs, state[1]):
+                acc.add(None if value_fn is None else value_fn(row))
+        if not groups and not group_fns:
+            # global aggregate over empty input still yields one row
+            accs = [_AggState(kind, distinct) for kind, __, distinct in specs]
+            yield tuple(acc.result() for acc in accs)
+            return
+        for group_values, accs in groups.values():
+            yield group_values + tuple(acc.result() for acc in accs)
+
+
+class SortOp(Operator):
+    def __init__(self, child, key_fns, descending_flags):
+        self.child = child
+        self.key_fns = key_fns
+        self.descending_flags = descending_flags
+        self.columns = child.columns
+        self.est_rows = child.est_rows
+
+    def rows(self):
+        materialized = list(self.child.rows())
+        # stable multi-key sort: apply keys right-to-left
+        for fn, descending in reversed(list(zip(self.key_fns, self.descending_flags))):
+            materialized.sort(
+                key=lambda row, _fn=fn: total_order_key(_fn(row)), reverse=descending
+            )
+        return iter(materialized)
+
+
+class LimitOp(Operator):
+    def __init__(self, child, limit=None, offset=None):
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+        self.columns = child.columns
+        self.est_rows = min(child.est_rows, limit) if limit is not None else (
+            child.est_rows
+        )
+
+    def rows(self):
+        remaining = self.limit
+        to_skip = self.offset
+        for row in self.child.rows():
+            if to_skip > 0:
+                to_skip -= 1
+                continue
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            yield row

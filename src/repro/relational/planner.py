@@ -1,0 +1,948 @@
+"""Binder + planner: turn parsed statements into physical operator trees.
+
+The planner is statistics-driven but deliberately simple:
+
+* single-table conjuncts are pushed into scans, with access-path selection
+  (hash index for equality, sorted index for ranges / prefix LIKE /
+  ``IS NOT NULL``, sequential scan otherwise);
+* joins are ordered greedily from the smallest filtered leaf, preferring
+  index nested-loop joins into base tables when the probe side is small and
+  hash joins otherwise;
+* CTEs are materialized once, in definition order; ``WITH RECURSIVE`` is
+  evaluated semi-naively with set semantics and an iteration guard.
+
+Correlated subqueries are not supported (the Gremlin translator never emits
+them); IN/EXISTS/scalar subqueries are evaluated once, lazily.
+"""
+
+from __future__ import annotations
+
+from repro.relational import expressions as ex
+from repro.relational import operators as op
+from repro.relational.errors import BindError
+from repro.relational.sql import ast_nodes as ast
+
+MAX_RECURSION_ROUNDS = 100_000
+DEFAULT_NDV = 20
+EQ_FALLBACK_SELECTIVITY = 0.05
+RANGE_SELECTIVITY = 0.3
+LIKE_SELECTIVITY = 0.1
+NOTNULL_SELECTIVITY = 0.9
+
+
+class Runtime:
+    """Per-statement execution environment: the visible CTE results."""
+
+    def __init__(self, database):
+        self.database = database
+        self.ctes = {}  # name -> (column_names, rows)
+
+
+def split_conjuncts(expression):
+    """Flatten a WHERE tree into a list of AND-ed conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, ex.And):
+        conjuncts = []
+        for item in expression.items:
+            conjuncts.extend(split_conjuncts(item))
+        return conjuncts
+    return [expression]
+
+
+def _through_projection(value_fns, output_key_fn):
+    """Lift an output-row key function to run over the pre-projection row."""
+
+    def key(row, _fns=tuple(value_fns), _key=output_key_fn):
+        return _key(tuple(fn(row) for fn in _fns))
+
+    return key
+
+
+def safe_fingerprint(expression):
+    try:
+        return expression.fingerprint()
+    except NotImplementedError:
+        return None
+
+
+class Planner:
+    """Plans one statement against a database + runtime."""
+
+    def __init__(self, database, runtime=None):
+        self.database = database
+        self.runtime = runtime if runtime is not None else Runtime(database)
+
+    # ------------------------------------------------------------------
+    # expression compilation helpers
+    # ------------------------------------------------------------------
+    def _ctx(self, columns):
+        resolver = op.make_resolver(columns)
+        return ex.CompileContext(
+            resolver, self.database.functions, self._execute_subquery
+        )
+
+    def _const_ctx(self):
+        def resolver(qualifier, name):
+            raise BindError(f"column {name!r} not allowed here")
+
+        return ex.CompileContext(
+            resolver, self.database.functions, self._execute_subquery
+        )
+
+    def const_value(self, expression):
+        """Evaluate an expression that must not reference any column."""
+        return expression.compile(self._const_ctx())(None)
+
+    def _is_const(self, expression):
+        return not expression.references()
+
+    def _execute_subquery(self, statement_ast):
+        child = Planner(self.database, self.runtime)
+        plan = child.plan_select_statement(statement_ast)
+        return list(plan.rows())
+
+    # ------------------------------------------------------------------
+    # statement entry point
+    # ------------------------------------------------------------------
+    def plan_select_statement(self, stmt):
+        for cte in stmt.ctes:
+            self._materialize_cte(cte, stmt.recursive)
+        plan = self.plan_query_expr(stmt.body)
+        if stmt.order_by:
+            plan = self._apply_order_by(plan, stmt.order_by, stmt.body)
+        if stmt.limit is not None or stmt.offset is not None:
+            limit = None if stmt.limit is None else int(self.const_value(stmt.limit))
+            offset = (
+                None if stmt.offset is None else int(self.const_value(stmt.offset))
+            )
+            plan = op.LimitOp(plan, limit, offset)
+        return plan
+
+    def _apply_order_by(self, plan, order_items, body):
+        """Sort the final plan.
+
+        Keys may reference output columns (aliases, positions) or — when the
+        top of the plan is a plain projection — columns of the underlying
+        relation that were projected away (``SELECT name ... ORDER BY id``).
+        In the latter case the sort is planned beneath the projection.
+        """
+        columns = plan.columns
+        names = [name for __, name in columns]
+        project = plan if isinstance(plan, op.ProjectOp) else None
+
+        def output_key(expression):
+            """Key function over the *output* row, or None."""
+            if isinstance(expression, ex.Literal) and isinstance(
+                expression.value, int
+            ):
+                position = expression.value - 1
+                if not 0 <= position < len(columns):
+                    raise BindError(
+                        f"ORDER BY position {expression.value} out of range"
+                    )
+                return lambda row, _p=position: row[_p]
+            if (
+                isinstance(expression, ex.ColumnRef)
+                and names.count(expression.name) == 1
+            ):
+                position = names.index(expression.name)
+                return lambda row, _p=position: row[_p]
+            try:
+                return expression.compile(self._ctx(columns))
+            except BindError:
+                return None
+
+        key_fns = []
+        child_key_indices = []
+        descending = []
+        for i, item in enumerate(order_items):
+            fn = output_key(item.expr)
+            if fn is None and project is not None:
+                try:
+                    fn = item.expr.compile(self._ctx(project.child.columns))
+                except BindError:
+                    fn = None
+                else:
+                    child_key_indices.append(i)
+            if fn is None:
+                raise BindError("cannot resolve ORDER BY expression")
+            key_fns.append(fn)
+            descending.append(item.descending)
+
+        if not child_key_indices:
+            return op.SortOp(plan, key_fns, descending)
+        # some keys live beneath the projection: sort the child, mapping
+        # output-level keys through the projection's value functions
+        child_fns = []
+        for i, fn in enumerate(key_fns):
+            if i in child_key_indices:
+                child_fns.append(fn)
+            else:
+                child_fns.append(_through_projection(project.value_fns, fn))
+        sorted_child = op.SortOp(project.child, child_fns, descending)
+        return op.ProjectOp(sorted_child, project.value_fns, project.columns)
+
+    # ------------------------------------------------------------------
+    # CTE materialization
+    # ------------------------------------------------------------------
+    def _cte_references(self, query, name):
+        """Does *query* reference CTE *name* in any FROM clause?"""
+        target = name.lower()
+
+        def visit_query(node):
+            if isinstance(node, ast.SelectStatement):
+                return visit_query(node.body)
+            if isinstance(node, ast.SetOp):
+                return visit_query(node.left) or visit_query(node.right)
+            if isinstance(node, ast.Select):
+                return any(visit_from(item) for item in node.from_items)
+            return False
+
+        def visit_from(item):
+            if isinstance(item, ast.TableRef):
+                return item.name.lower() == target
+            if isinstance(item, ast.Join):
+                return visit_from(item.left) or visit_from(item.right)
+            if isinstance(item, ast.SubquerySource):
+                return visit_query(item.query)
+            return False
+
+        return visit_query(query)
+
+    def _materialize_cte(self, cte, recursive_allowed):
+        name = cte.name.lower()
+        if recursive_allowed and self._cte_references(cte.query, name):
+            self._materialize_recursive_cte(cte)
+            return
+        if isinstance(cte.query, ast.SelectStatement):
+            plan = self.plan_select_statement(cte.query)
+        else:
+            plan = self.plan_query_expr(cte.query)
+        columns = cte.columns or [col_name for __, col_name in plan.columns]
+        columns = [col.lower() for col in columns]
+        if len(columns) != len(plan.columns):
+            raise BindError(
+                f"CTE {name!r} declares {len(columns)} columns but query "
+                f"produces {len(plan.columns)}"
+            )
+        self.runtime.ctes[name] = (columns, list(plan.rows()))
+
+    def _materialize_recursive_cte(self, cte):
+        name = cte.name.lower()
+        base_terms, recursive_terms = [], []
+
+        def collect(node):
+            if isinstance(node, ast.SetOp) and node.op == "union_all":
+                collect(node.left)
+                collect(node.right)
+            elif self._cte_references(node, name):
+                recursive_terms.append(node)
+            else:
+                base_terms.append(node)
+
+        collect(cte.query)
+        if not recursive_terms:
+            raise BindError(f"recursive CTE {name!r} has no recursive term")
+        if not base_terms:
+            raise BindError(f"recursive CTE {name!r} has no base term")
+
+        all_rows = []
+        seen = set()
+        columns = None
+        for term in base_terms:
+            plan = self.plan_query_expr(term)
+            if columns is None:
+                columns = cte.columns or [col for __, col in plan.columns]
+                columns = [col.lower() for col in columns]
+            for row in plan.rows():
+                key = op.hashable_row(row)
+                if key not in seen:
+                    seen.add(key)
+                    all_rows.append(row)
+        delta = list(all_rows)
+        rounds = 0
+        while delta:
+            rounds += 1
+            if rounds > MAX_RECURSION_ROUNDS:
+                raise BindError(f"recursive CTE {name!r} exceeded iteration limit")
+            self.runtime.ctes[name] = (columns, delta)
+            new_delta = []
+            for term in recursive_terms:
+                plan = self.plan_query_expr(term)
+                for row in plan.rows():
+                    key = op.hashable_row(row)
+                    if key not in seen:
+                        seen.add(key)
+                        new_delta.append(row)
+                        all_rows.append(row)
+            delta = new_delta
+        self.runtime.ctes[name] = (columns, all_rows)
+
+    # ------------------------------------------------------------------
+    # query expressions
+    # ------------------------------------------------------------------
+    def plan_query_expr(self, node):
+        if isinstance(node, ast.SetOp):
+            left = self.plan_query_expr(node.left)
+            right = self.plan_query_expr(node.right)
+            if len(left.columns) != len(right.columns):
+                raise BindError("set operation children have different arity")
+            if node.op == "union_all":
+                children = []
+                for child in (left, right):
+                    if isinstance(child, op.UnionAllOp):
+                        children.extend(child.children)
+                    else:
+                        children.append(child)
+                return op.UnionAllOp(children)
+            return op.SetOpOp(node.op, left, right)
+        if isinstance(node, ast.Select):
+            return self.plan_select_core(node)
+        raise BindError(f"cannot plan query node {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # SELECT core
+    # ------------------------------------------------------------------
+    def plan_select_core(self, select):
+        conjuncts = split_conjuncts(select.where)
+        plan = self._plan_from_clause(select.from_items, conjuncts)
+        if conjuncts:
+            ctx = self._ctx(plan.columns)
+            predicate = ex.And(conjuncts).compile(ctx) if len(conjuncts) > 1 else (
+                conjuncts[0].compile(ctx)
+            )
+            plan = op.FilterOp(plan, predicate)
+        plan = self._apply_projection(plan, select)
+        if select.distinct:
+            plan = op.DistinctOp(plan)
+        return plan
+
+    def _expand_select_items(self, select, child_columns):
+        """Resolve ``*`` / ``alias.*`` into explicit expression items."""
+        items = []
+        for item in select.items:
+            if not item.star:
+                items.append(item)
+                continue
+            for qualifier, name in child_columns:
+                if item.qualifier is not None and qualifier != item.qualifier.lower():
+                    continue
+                items.append(
+                    ast.SelectItem(expr=ex.ColumnRef(qualifier, name), alias=name)
+                )
+        return items
+
+    def _contains_aggregate(self, expression):
+        for node in expression.walk():
+            if isinstance(node, ex.FuncCall) and (
+                node.name in ex.AGGREGATE_FUNCTIONS
+            ):
+                return True
+        return False
+
+    def _apply_projection(self, plan, select):
+        items = self._expand_select_items(select, plan.columns)
+        has_aggregate = select.group_by or any(
+            self._contains_aggregate(item.expr) for item in items
+        )
+        if has_aggregate:
+            return self._apply_aggregation(plan, select, items)
+        ctx = self._ctx(plan.columns)
+        value_fns = [item.expr.compile(ctx) for item in items]
+        columns = [(None, self._output_name(item, i)) for i, item in enumerate(items)]
+        return op.ProjectOp(plan, value_fns, columns)
+
+    @staticmethod
+    def _output_name(item, position):
+        if item.alias:
+            return item.alias.lower()
+        if isinstance(item.expr, ex.ColumnRef):
+            return item.expr.name
+        return f"col{position}"
+
+    def _apply_aggregation(self, plan, select, items):
+        child_ctx = self._ctx(plan.columns)
+        group_fns = []
+        group_fingerprints = []
+        for group_expr in select.group_by:
+            group_fns.append(group_expr.compile(child_ctx))
+            group_fingerprints.append(safe_fingerprint(group_expr))
+
+        agg_specs = []  # (kind, value_fn_or_None, distinct)
+        agg_keys = {}  # fingerprint -> agg index, for dedup
+
+        def rewrite(expression):
+            fingerprint = safe_fingerprint(expression)
+            if fingerprint is not None and fingerprint in group_fingerprints:
+                position = group_fingerprints.index(fingerprint)
+                return ex.ColumnRef(None, f"$grp{position}")
+            if isinstance(expression, ex.FuncCall) and (
+                expression.name in ex.AGGREGATE_FUNCTIONS
+            ):
+                kind = expression.name
+                if kind == "count" and getattr(expression, "star", False):
+                    kind = "count_star"
+                    value_fn = None
+                    key = ("count_star", False)
+                else:
+                    if len(expression.args) != 1:
+                        raise BindError(
+                            f"aggregate {kind} takes one argument"
+                        )
+                    arg_fp = safe_fingerprint(expression.args[0])
+                    key = (kind, expression.distinct, arg_fp)
+                    value_fn = expression.args[0].compile(child_ctx)
+                if key in agg_keys and key[-1] is not None:
+                    position = agg_keys[key]
+                else:
+                    position = len(agg_specs)
+                    agg_specs.append((kind, value_fn, expression.distinct))
+                    agg_keys[key] = position
+                return ex.ColumnRef(None, f"$agg{position}")
+            rebuilt = self._rebuild_with_children(expression, rewrite)
+            return rebuilt
+
+        rewritten_items = []
+        for item in items:
+            rewritten_items.append((rewrite(item.expr), item))
+        having_rewritten = rewrite(select.having) if select.having is not None else None
+
+        inner_columns = [(None, f"$grp{i}") for i in range(len(group_fns))] + [
+            (None, f"$agg{i}") for i in range(len(agg_specs))
+        ]
+        agg_plan = op.AggregateOp(plan, group_fns, agg_specs, inner_columns)
+        inner_ctx = self._ctx(inner_columns)
+        if having_rewritten is not None:
+            agg_plan = op.FilterOp(agg_plan, having_rewritten.compile(inner_ctx))
+            inner_ctx = self._ctx(inner_columns)
+        value_fns = [expr.compile(inner_ctx) for expr, __ in rewritten_items]
+        out_columns = [
+            (None, self._output_name(item, i))
+            for i, (__, item) in enumerate(rewritten_items)
+        ]
+        return op.ProjectOp(agg_plan, value_fns, out_columns)
+
+    def _rebuild_with_children(self, expression, transform):
+        """Apply *transform* to child expressions in place; return node."""
+        for attr in ("left", "right", "operand", "pattern", "otherwise"):
+            child = getattr(expression, attr, None)
+            if isinstance(child, ex.Expression):
+                setattr(expression, attr, transform(child))
+        for attr in ("items", "args"):
+            children = getattr(expression, attr, None)
+            if isinstance(children, list):
+                for i, child in enumerate(children):
+                    if isinstance(child, ex.Expression):
+                        children[i] = transform(child)
+        whens = getattr(expression, "whens", None)
+        if isinstance(whens, list):
+            for i, (cond, result) in enumerate(whens):
+                whens[i] = (transform(cond), transform(result))
+        return expression
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def _plan_from_clause(self, from_items, conjuncts):
+        if not from_items:
+            return op.MaterializedScan([()], [])
+        leaves = []
+        for item in from_items:
+            self._add_from_item(item, leaves, conjuncts)
+        return self._join_leaves(leaves, conjuncts)
+
+    def _add_from_item(self, item, leaves, conjuncts):
+        if isinstance(item, ast.TableRef):
+            leaves.append(self._table_leaf(item))
+        elif isinstance(item, ast.SubquerySource):
+            leaves.append(self._subquery_leaf(item))
+        elif isinstance(item, ast.Join):
+            if item.kind in ("inner", "cross"):
+                self._add_from_item(item.left, leaves, conjuncts)
+                self._add_from_item(item.right, leaves, conjuncts)
+                if item.condition is not None:
+                    conjuncts.extend(split_conjuncts(item.condition))
+            else:  # left outer join: plan both sides as units
+                left_leaves = []
+                self._add_from_item(item.left, left_leaves, conjuncts)
+                left_plan = self._join_leaves(left_leaves, conjuncts)
+                right_plan = self._plan_left_join(left_plan, item)
+                leaves.append(right_plan)
+        elif isinstance(item, ast.UnnestValues):
+            if not leaves:
+                raise BindError("TABLE(VALUES ...) needs a preceding FROM item")
+            combined = self._join_leaves(leaves, conjuncts)
+            leaves.clear()
+            leaves.append(self._apply_unnest(combined, item))
+        else:
+            raise BindError(f"unsupported FROM item {type(item).__name__}")
+
+    def _table_leaf(self, ref):
+        name = ref.name.lower()
+        alias = (ref.alias or ref.name).lower()
+        if name in self.runtime.ctes:
+            columns, rows = self.runtime.ctes[name]
+            return op.MaterializedScan(rows, [(alias, col) for col in columns])
+        table = self.database.catalog.get_table(name)
+        return op.SeqScan(table, alias)
+
+    def _subquery_leaf(self, source):
+        child = Planner(self.database, self.runtime)
+        plan = child.plan_query_expr(source.query)
+        alias = source.alias.lower()
+        rows = list(plan.rows())
+        columns = [(alias, name) for __, name in plan.columns]
+        return op.MaterializedScan(rows, columns)
+
+    def _apply_unnest(self, child, unnest):
+        ctx = self._ctx(child.columns)
+        width = len(unnest.columns)
+        rows_of_fns = []
+        for row_exprs in unnest.rows:
+            if len(row_exprs) != width:
+                raise BindError(
+                    f"VALUES row has {len(row_exprs)} expressions, alias declares "
+                    f"{width} columns"
+                )
+            rows_of_fns.append([expr.compile(ctx) for expr in row_exprs])
+        alias = unnest.alias.lower()
+        columns = [(alias, col.lower()) for col in unnest.columns]
+        return op.LateralUnnestOp(child, rows_of_fns, columns)
+
+    def _plan_left_join(self, left_plan, join):
+        if isinstance(join.right, ast.TableRef):
+            right_leaf = self._table_leaf(join.right)
+        elif isinstance(join.right, ast.SubquerySource):
+            right_leaf = self._subquery_leaf(join.right)
+        else:
+            raise BindError("LEFT JOIN right side must be a table or subquery")
+        condition_conjuncts = split_conjuncts(join.condition)
+        left_cols = set(left_plan.columns)
+        right_cols = set(right_leaf.columns)
+        equi_pairs, residual = self._extract_equi_pairs(
+            condition_conjuncts, left_cols, right_cols
+        )
+        combined_columns = list(left_plan.columns) + list(right_leaf.columns)
+        residual_fn = None
+        if residual:
+            ctx = self._ctx(combined_columns)
+            residual_fn = ex.And(residual).compile(ctx) if len(residual) > 1 else (
+                residual[0].compile(ctx)
+            )
+        if equi_pairs:
+            left_ctx = self._ctx(left_plan.columns)
+            left_key_fns = [pair[0].compile(left_ctx) for pair in equi_pairs]
+            # prefer an index nested-loop when the right side is a base table
+            # with an index on exactly the join key
+            if isinstance(right_leaf, op.SeqScan) and len(equi_pairs) == 1:
+                fingerprint = equi_pairs[0][1].fingerprint()
+                index = right_leaf.table.find_index(fingerprint)
+                if index is not None:
+                    return op.IndexNLJoinOp(
+                        left_plan,
+                        right_leaf.table,
+                        right_leaf.qualifier,
+                        index,
+                        left_key_fns,
+                        residual=residual_fn,
+                        kind="left",
+                    )
+            right_ctx = self._ctx(right_leaf.columns)
+            right_key_fns = [pair[1].compile(right_ctx) for pair in equi_pairs]
+            return op.HashJoinOp(
+                left_plan, right_leaf, left_key_fns, right_key_fns, "left",
+                residual_fn,
+            )
+        condition_fn = None
+        if condition_conjuncts:
+            ctx = self._ctx(combined_columns)
+            condition_fn = ex.And(condition_conjuncts).compile(ctx)
+        return op.NestedLoopJoinOp(left_plan, right_leaf, condition_fn, "left")
+
+    def _extract_equi_pairs(self, conjuncts, left_cols, right_cols):
+        """Split conjuncts into (left_expr, right_expr) equi pairs + residual."""
+        pairs = []
+        residual = []
+        for conjunct in conjuncts:
+            pair = None
+            if isinstance(conjunct, ex.Comparison) and conjunct.op == "=":
+                left_refs = self._column_set(conjunct.left)
+                right_refs = self._column_set(conjunct.right)
+                if left_refs and right_refs:
+                    if left_refs <= left_cols and right_refs <= right_cols:
+                        pair = (conjunct.left, conjunct.right)
+                    elif left_refs <= right_cols and right_refs <= left_cols:
+                        pair = (conjunct.right, conjunct.left)
+            if pair is not None:
+                pairs.append(pair)
+            else:
+                residual.append(conjunct)
+        return pairs, residual
+
+    @staticmethod
+    def _column_set(expression):
+        """References of *expression* as a set (qualifier may be None)."""
+        return set(expression.references())
+
+    def _refs_resolvable(self, expression, columns):
+        """Can every reference in *expression* be resolved against *columns*?"""
+        resolver = op.make_resolver(columns)
+        for qualifier, name in expression.references():
+            try:
+                resolver(qualifier, name)
+            except BindError:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # join ordering
+    # ------------------------------------------------------------------
+    def _join_leaves(self, leaves, conjuncts):
+        if not leaves:
+            return op.MaterializedScan([()], [])
+        # push single-leaf conjuncts into access paths
+        prepared = []
+        for leaf in leaves:
+            local = [
+                conjunct
+                for conjunct in conjuncts
+                if conjunct.references()
+                and self._refs_resolvable(conjunct, leaf.columns)
+            ]
+            for conjunct in local:
+                conjuncts.remove(conjunct)
+            prepared.append(self._apply_access_path(leaf, local))
+        if len(prepared) == 1:
+            return prepared[0]
+
+        remaining = list(prepared)
+        remaining.sort(key=lambda leaf: leaf.est_rows)
+        current = remaining.pop(0)
+        while remaining:
+            best = None
+            for candidate in remaining:
+                combined_cols = set(current.columns) | set(candidate.columns)
+                usable = [
+                    conjunct
+                    for conjunct in conjuncts
+                    if self._refs_resolvable(conjunct, list(combined_cols))
+                ]
+                pairs, __ = self._extract_equi_pairs(
+                    usable, set(current.columns), set(candidate.columns)
+                )
+                connected = bool(pairs)
+                score = (0 if connected else 1, candidate.est_rows)
+                if best is None or score < best[0]:
+                    best = (score, candidate)
+            candidate = best[1]
+            remaining.remove(candidate)
+            current = self._join_pair(current, candidate, conjuncts)
+        return current
+
+    def _join_pair(self, current, candidate, conjuncts):
+        combined_columns = list(current.columns) + list(candidate.columns)
+        usable = [
+            conjunct
+            for conjunct in conjuncts
+            if self._refs_resolvable(conjunct, combined_columns)
+        ]
+        for conjunct in usable:
+            conjuncts.remove(conjunct)
+        pairs, residual = self._extract_equi_pairs(
+            usable, set(current.columns), set(candidate.columns)
+        )
+        residual_fn = None
+        if residual:
+            ctx = self._ctx(combined_columns)
+            residual_fn = ex.And(residual).compile(ctx) if len(residual) > 1 else (
+                residual[0].compile(ctx)
+            )
+        if not pairs:
+            return op.NestedLoopJoinOp(current, candidate, residual_fn, "inner")
+        left_ctx = self._ctx(current.columns)
+        outer_key_fns = [pair[0].compile(left_ctx) for pair in pairs]
+        # index nested loop into a base table when probing is cheap; the
+        # candidate's pushed-down conjuncts (recorded by _apply_access_path)
+        # are re-applied as join residuals since the index bypasses its
+        # access path
+        base_table = getattr(candidate, "base_table", None)
+        if base_table is None and isinstance(candidate, op.SeqScan) and (
+            candidate.predicate is None
+        ):
+            base_table = candidate.table
+            candidate.base_qualifier = candidate.qualifier
+            candidate.pushed_conjuncts = []
+        if base_table is not None and len(pairs) == 1:
+            try:
+                fingerprint = pairs[0][1].fingerprint()
+            except NotImplementedError:
+                fingerprint = None
+            index = (
+                base_table.find_index(fingerprint)
+                if fingerprint is not None
+                else None
+            )
+            # regime selection: an index nested loop costs one random probe
+            # per outer row; a hash join costs building + scanning both
+            # inputs sequentially.  `index_probe_cost` expresses how much a
+            # random probe costs relative to a sequentially scanned row
+            # (≈1 in RAM, orders of magnitude more on disk).
+            probe_cost = self.database.planner_options.get(
+                "index_probe_cost", 1.0
+            )
+            index_join_cost = current.est_rows * probe_cost
+            hash_join_cost = candidate.est_rows + current.est_rows * 0.5
+            if index is not None and (
+                index_join_cost <= hash_join_cost
+                or current.est_rows <= 1000 * min(1.0, 1.0 / probe_cost)
+            ):
+                inner_columns = [
+                    (candidate.base_qualifier, name)
+                    for name in base_table.schema.column_names
+                ]
+                all_residuals = list(residual) + list(candidate.pushed_conjuncts)
+                combined_fn = None
+                if all_residuals:
+                    ctx = self._ctx(list(current.columns) + inner_columns)
+                    combined_fn = (
+                        ex.And(all_residuals).compile(ctx)
+                        if len(all_residuals) > 1
+                        else all_residuals[0].compile(ctx)
+                    )
+                return op.IndexNLJoinOp(
+                    current,
+                    base_table,
+                    candidate.base_qualifier,
+                    index,
+                    outer_key_fns,
+                    residual=combined_fn,
+                    est_rows=max(current.est_rows, candidate.est_rows),
+                )
+        right_ctx = self._ctx(candidate.columns)
+        inner_key_fns = [pair[1].compile(right_ctx) for pair in pairs]
+        est = max(current.est_rows, candidate.est_rows)
+        if candidate.est_rows <= current.est_rows:
+            return op.HashJoinOp(
+                current, candidate, outer_key_fns, inner_key_fns, "inner",
+                residual_fn, est,
+            )
+        # build on the smaller (current) side by swapping children
+        swapped = op.HashJoinOp(
+            candidate, current, inner_key_fns, outer_key_fns, "inner", None, est
+        )
+        if residual_fn is None:
+            return swapped
+        ctx = self._ctx(swapped.columns)
+        # residual was compiled against [current, candidate] order; recompile
+        residual_conjuncts = residual
+        predicate = ex.And(residual_conjuncts).compile(ctx) if len(
+            residual_conjuncts
+        ) > 1 else residual_conjuncts[0].compile(ctx)
+        return op.FilterOp(swapped, predicate, est)
+
+    # ------------------------------------------------------------------
+    # access-path selection for one leaf
+    # ------------------------------------------------------------------
+    def _apply_access_path(self, leaf, local_conjuncts):
+        if not local_conjuncts:
+            return leaf
+        if not isinstance(leaf, op.SeqScan):
+            ctx = self._ctx(leaf.columns)
+            predicate = self._conjunction_fn(local_conjuncts, ctx)
+            est = max(1, int(leaf.est_rows * (EQ_FALLBACK_SELECTIVITY ** 0)))
+            return op.FilterOp(leaf, predicate, max(1, leaf.est_rows // 3))
+
+        table = leaf.table
+        qualifier = leaf.qualifier
+        chosen = None  # (operator_factory, consumed_conjunct, est_rows)
+
+        for conjunct in local_conjuncts:
+            access = self._match_index_access(table, qualifier, conjunct)
+            if access is None:
+                continue
+            if chosen is None or access[1] < chosen[1]:
+                chosen = (access[0], access[1], conjunct)
+        if chosen is None:
+            ctx = self._ctx(leaf.columns)
+            predicate = self._conjunction_fn(local_conjuncts, ctx)
+            est = self._estimate_filtered(table.live_rows, local_conjuncts)
+            scan = op.SeqScan(table, qualifier, predicate, est)
+            self._mark_base(scan, table, qualifier, local_conjuncts)
+            return scan
+        factory, est, consumed = chosen
+        rest = [conjunct for conjunct in local_conjuncts if conjunct is not consumed]
+        predicate = None
+        if rest:
+            ctx = self._ctx(leaf.columns)
+            predicate = self._conjunction_fn(rest, ctx)
+            est = self._estimate_filtered(est, rest)
+        scan = factory(predicate, max(1, int(est)))
+        self._mark_base(scan, table, qualifier, local_conjuncts)
+        return scan
+
+    @staticmethod
+    def _mark_base(scan, table, qualifier, pushed_conjuncts):
+        """Record pushdown provenance so joins can re-derive residuals."""
+        scan.base_table = table
+        scan.base_qualifier = qualifier
+        scan.pushed_conjuncts = list(pushed_conjuncts)
+
+    def _conjunction_fn(self, conjuncts, ctx):
+        if len(conjuncts) == 1:
+            return conjuncts[0].compile(ctx)
+        return ex.And(list(conjuncts)).compile(ctx)
+
+    def _estimate_filtered(self, base_rows, conjuncts):
+        estimate = base_rows
+        for conjunct in conjuncts:
+            if isinstance(conjunct, ex.Comparison) and conjunct.op == "=":
+                estimate *= EQ_FALLBACK_SELECTIVITY
+            elif isinstance(conjunct, ex.Comparison):
+                estimate *= RANGE_SELECTIVITY
+            elif isinstance(conjunct, ex.Like):
+                estimate *= LIKE_SELECTIVITY
+            elif isinstance(conjunct, ex.IsNull) and conjunct.negated:
+                estimate *= NOTNULL_SELECTIVITY
+            else:
+                estimate *= 0.5
+        return max(1, int(estimate))
+
+    def _match_index_access(self, table, qualifier, conjunct):
+        """Try to satisfy *conjunct* with an index; returns (factory, est)."""
+        if isinstance(conjunct, ex.Comparison):
+            return self._match_comparison_index(table, qualifier, conjunct)
+        if isinstance(conjunct, ex.IsNull) and conjunct.negated:
+            index = table.find_index(conjunct.operand.fingerprint(), kind="sorted")
+            if index is None:
+                return None
+            est = max(1, int(table.live_rows * NOTNULL_SELECTIVITY))
+
+            def factory(predicate, est_rows, _index=index):
+                return op.IndexRangeScan(
+                    table, qualifier, _index, None, None, True, True,
+                    predicate, est_rows,
+                )
+
+            return factory, est
+        if isinstance(conjunct, ex.Like) and not conjunct.negated:
+            if not isinstance(conjunct.pattern, ex.Literal):
+                return None
+            pattern = conjunct.pattern.value
+            if not isinstance(pattern, str) or not pattern:
+                return None
+            prefix_end = min(
+                (pattern.index(ch) for ch in "%_" if ch in pattern),
+                default=len(pattern),
+            )
+            prefix = pattern[:prefix_end]
+            if not prefix:
+                return None
+            index = table.find_index(conjunct.operand.fingerprint(), kind="sorted")
+            if index is None:
+                return None
+            est = max(1, int(table.live_rows * LIKE_SELECTIVITY))
+            high = prefix + "￿"
+            full_predicate_needed = prefix != pattern
+
+            def factory(predicate, est_rows, _index=index, _conjunct=conjunct):
+                combined = predicate
+                if full_predicate_needed:
+                    ctx = self._ctx(
+                        [(qualifier, name) for name in table.schema.column_names]
+                    )
+                    like_fn = _conjunct.compile(ctx)
+                    if predicate is None:
+                        combined = like_fn
+                    else:
+                        previous = predicate
+                        combined = lambda row: like_fn(row) and previous(row)
+                return op.IndexRangeScan(
+                    table, qualifier, _index, prefix, high, True, True,
+                    combined, est_rows,
+                )
+
+            return factory, est
+        if isinstance(conjunct, ex.InList) and not conjunct.negated:
+            if not all(isinstance(item, ex.Literal) for item in conjunct.items):
+                return None
+            index = table.find_index(conjunct.operand.fingerprint())
+            if index is None:
+                return None
+            keys = [item.value for item in conjunct.items]
+            ndv = max(self._index_ndv(index), 1)
+            est = max(1, len(keys) * table.live_rows // ndv)
+
+            def factory(predicate, est_rows, _index=index, _keys=keys):
+                return op.IndexEqScan(
+                    table, qualifier, _index, _keys, predicate, est_rows
+                )
+
+            return factory, est
+        return None
+
+    def _match_comparison_index(self, table, qualifier, conjunct):
+        sides = [
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ]
+        for key_side, value_side in sides:
+            if not self._is_const(value_side):
+                continue
+            if not key_side.references():
+                continue
+            try:
+                fingerprint = key_side.fingerprint()
+            except NotImplementedError:
+                continue
+            if conjunct.op == "=":
+                index = table.find_index(fingerprint)
+                if index is None:
+                    continue
+                key = self.const_value(value_side)
+                ndv = max(self._index_ndv(index), 1)
+                est = max(1, table.live_rows // ndv)
+
+                def factory(predicate, est_rows, _index=index, _key=key):
+                    return op.IndexEqScan(
+                        table, qualifier, _index, [_key], predicate, est_rows
+                    )
+
+                return factory, est
+            if conjunct.op in ("<", "<=", ">", ">="):
+                index = table.find_index(fingerprint, kind="sorted")
+                if index is None:
+                    continue
+                bound = self.const_value(value_side)
+                # normalize so the key side is on the left
+                operator = conjunct.op
+                if key_side is conjunct.right:
+                    operator = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[operator]
+                low = high = None
+                low_inc = high_inc = True
+                if operator in ("<", "<="):
+                    high = bound
+                    high_inc = operator == "<="
+                else:
+                    low = bound
+                    low_inc = operator == ">="
+                est = max(1, int(table.live_rows * RANGE_SELECTIVITY))
+
+                def factory(
+                    predicate, est_rows, _index=index, _low=low, _high=high,
+                    _li=low_inc, _hi=high_inc,
+                ):
+                    return op.IndexRangeScan(
+                        table, qualifier, _index, _low, _high, _li, _hi,
+                        predicate, est_rows,
+                    )
+
+                return factory, est
+        return None
+
+    @staticmethod
+    def _index_ndv(index):
+        try:
+            return index.distinct_keys()
+        except AttributeError:
+            return DEFAULT_NDV

@@ -1,0 +1,13 @@
+"""SQL dialect: lexer, AST and parser.
+
+The dialect covers what the Gremlin translator emits plus general-purpose
+DML/DDL: ``WITH [RECURSIVE]`` CTEs, inner/left-outer joins, lateral
+``TABLE(VALUES ...)`` unnesting, set operations, grouping and aggregates,
+``ORDER BY``/``LIMIT``/``OFFSET``, ``INSERT``/``UPDATE``/``DELETE``,
+``CREATE TABLE``/``CREATE INDEX``/``DROP TABLE`` and positional ``?``
+parameters.
+"""
+
+from repro.relational.sql.parser import parse_statement
+
+__all__ = ["parse_statement"]

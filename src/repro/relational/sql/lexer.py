@@ -1,0 +1,133 @@
+"""Hand-written SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "ALL", "AND", "ANY", "AS", "ASC", "BETWEEN", "BOOLEAN", "BY", "CASE",
+    "CAST", "COUNT", "CREATE", "CROSS", "DELETE", "DESC", "DISTINCT", "DOUBLE",
+    "DROP", "ELSE", "END", "ESCAPE", "EXCEPT", "EXISTS", "EXPLAIN", "FALSE", "FROM",
+    "FULL", "GROUP", "HAVING", "IF", "IN", "INDEX", "INNER", "INSERT", "INT",
+    "INTEGER", "INTERSECT", "INTO", "IS", "JOIN", "JSON", "KEY", "LEFT",
+    "LIKE", "LIMIT", "NOT", "NULL", "OFFSET", "ON", "OR", "ORDER", "OUTER",
+    "PRIMARY", "RECURSIVE", "RIGHT", "SELECT", "SET", "STRING", "TABLE",
+    "TABLES", "THEN", "TRUE", "UNION", "UNIQUE", "UPDATE", "USING", "VALUES",
+    "VARCHAR", "WHEN", "WHERE", "WITH",
+}
+
+# multi-char operators first so they win over single-char prefixes
+OPERATORS = ["||", "<>", "!=", "<=", ">=", "<", ">", "=", "+", "-", "*", "/",
+             "%", "(", ")", ",", ".", ";", "?"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, STRING, NUMBER, OP, EOF
+    value: str
+    position: int
+
+
+def tokenize(text):
+    """Tokenize *text* into a list of tokens ending with an EOF token."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if char == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if char == '"':
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token("IDENT", text[i + 1 : end], end))
+            i = end + 1
+            continue
+        if char.isdigit() or (char == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if char.isalpha() or char == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {char!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+def _read_string(text, start):
+    """Read a single-quoted string literal; '' is an escaped quote."""
+    parts = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(char)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_number(text, start):
+    i = start
+    n = len(text)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        char = text[i]
+        if char.isdigit():
+            i += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            # do not swallow a trailing `.` that belongs to a qualified name
+            if i + 1 < n and text[i + 1].isdigit():
+                seen_dot = True
+                i += 1
+            else:
+                break
+        elif char in "eE" and not seen_exp and i + 1 < n and (
+            text[i + 1].isdigit() or text[i + 1] in "+-"
+        ):
+            seen_exp = True
+            i += 2
+        else:
+            break
+    return text[start:i], i

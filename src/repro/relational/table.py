@@ -1,0 +1,162 @@
+"""Heap tables: paged row storage with index maintenance.
+
+A row is addressed by its RID ``(page_no, slot)``.  Deleting a row leaves a
+``None`` tombstone in the slot (RIDs are never reused), which keeps index
+entries and undo records stable.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import CatalogError
+from repro.relational.pages import PAGE_CAPACITY
+
+
+class HeapTable:
+    """A heap of rows for one table, living behind a shared buffer pool."""
+
+    def __init__(self, schema, buffer_pool):
+        self.schema = schema
+        self.name = schema.name
+        self._pool = buffer_pool
+        self._blobs: list[bytes | None] = []
+        self._page_count = 0
+        self._last_page_size = 0
+        self.live_rows = 0
+        self.indexes: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # page-blob interface used by the buffer pool
+    # ------------------------------------------------------------------
+    def page_blob(self, page_no):
+        return self._blobs[page_no]
+
+    def store_page_blob(self, page_no, blob):
+        self._blobs[page_no] = blob
+
+    @property
+    def page_count(self):
+        return self._page_count
+
+    def storage_bytes(self):
+        """Approximate on-'disk' size: total bytes of serialized pages.
+
+        Resident-only pages are not counted until they are written back;
+        benchmarks call :meth:`repro.relational.pages.BufferPool.clear` first
+        when they want an exact figure.
+        """
+        return sum(len(blob) for blob in self._blobs if blob is not None)
+
+    # ------------------------------------------------------------------
+    # row operations
+    # ------------------------------------------------------------------
+    def insert(self, values, coerce=True):
+        """Append a row; returns its RID.  Maintains all indexes."""
+        row = self.schema.coerce_row(values) if coerce else tuple(values)
+        if self._page_count == 0 or self._last_page_size >= PAGE_CAPACITY:
+            page_no = self._page_count
+            self._blobs.append(None)
+            self._page_count += 1
+            self._pool.add_page(self, page_no, [])
+            self._last_page_size = 0
+        page_no = self._page_count - 1
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        slot = len(rows)
+        rid = (page_no, slot)
+        inserted = []
+        try:
+            for index in self.indexes.values():
+                index.insert(rid, row)
+                inserted.append(index)
+        except Exception:
+            for index in inserted:
+                index.delete(rid, row)
+            raise
+        rows.append(row)
+        self._last_page_size = slot + 1
+        self.live_rows += 1
+        return rid
+
+    def get(self, rid):
+        """Return the row at *rid*, or ``None`` if it was deleted."""
+        page_no, slot = rid
+        rows = self._pool.fetch(self, page_no)
+        return rows[slot]
+
+    def delete(self, rid):
+        """Tombstone the row at *rid*; returns the old row (or ``None``)."""
+        page_no, slot = rid
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        old = rows[slot]
+        if old is None:
+            return None
+        for index in self.indexes.values():
+            index.delete(rid, old)
+        rows[slot] = None
+        self.live_rows -= 1
+        return old
+
+    def update(self, rid, values, coerce=True):
+        """Replace the row at *rid*; returns the old row."""
+        new_row = self.schema.coerce_row(values) if coerce else tuple(values)
+        page_no, slot = rid
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        old = rows[slot]
+        if old is None:
+            return None
+        for index in self.indexes.values():
+            index.update(rid, old, new_row)
+        rows[slot] = new_row
+        return old
+
+    def restore(self, rid, row):
+        """Undo helper: put *row* back into a tombstoned slot."""
+        page_no, slot = rid
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        if rows[slot] is not None:
+            return
+        for index in self.indexes.values():
+            index.insert(rid, row)
+        rows[slot] = row
+        self.live_rows += 1
+
+    def scan(self):
+        """Yield ``(rid, row)`` for every live row."""
+        for page_no in range(self._page_count):
+            rows = self._pool.fetch(self, page_no)
+            for slot, row in enumerate(rows):
+                if row is not None:
+                    yield (page_no, slot), row
+
+    def scan_rows(self):
+        """Yield live rows only (no RIDs) — the common read path."""
+        for page_no in range(self._page_count):
+            for row in self._pool.fetch(self, page_no):
+                if row is not None:
+                    yield row
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def attach_index(self, index, populate=True):
+        if index.name in self.indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        if populate:
+            for rid, row in self.scan():
+                index.insert(rid, row)
+        self.indexes[index.name] = index
+        return index
+
+    def drop_index(self, index_name):
+        self.indexes.pop(index_name.lower(), None)
+
+    def find_index(self, fingerprint, kind=None):
+        """Return an index whose fingerprint matches, preferring hash."""
+        matches = [
+            index
+            for index in self.indexes.values()
+            if index.fingerprint == fingerprint and (kind is None or index.kind == kind)
+        ]
+        if not matches:
+            return None
+        matches.sort(key=lambda index: 0 if index.kind == "hash" else 1)
+        return matches[0]

@@ -1,0 +1,55 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.datasets.tinker import paper_figure_graph, tinkerpop_classic
+from repro.relational import Database
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def people_db():
+    """A small two-table database used across SQL tests."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE people (id INTEGER PRIMARY KEY, name STRING, "
+        "age INTEGER, city STRING)"
+    )
+    database.execute(
+        "CREATE TABLE orders (oid INTEGER PRIMARY KEY, pid INTEGER, "
+        "amount DOUBLE, item STRING)"
+    )
+    rows = [
+        (1, "alice", 34, "paris"),
+        (2, "bob", 28, "london"),
+        (3, "carol", 41, "paris"),
+        (4, "dan", 23, None),
+        (5, "eve", 28, "berlin"),
+    ]
+    for row in rows:
+        database.execute("INSERT INTO people VALUES (?, ?, ?, ?)", list(row))
+    orders = [
+        (10, 1, 25.0, "book"),
+        (11, 1, 14.0, "pen"),
+        (12, 2, 120.0, "chair"),
+        (13, 3, 9.5, "book"),
+        (14, 5, 30.0, "lamp"),
+        (15, 5, 5.0, "pen"),
+    ]
+    for row in orders:
+        database.execute("INSERT INTO orders VALUES (?, ?, ?, ?)", list(row))
+    return database
+
+
+@pytest.fixture
+def figure_graph():
+    return paper_figure_graph()
+
+
+@pytest.fixture
+def classic_graph():
+    return tinkerpop_classic()

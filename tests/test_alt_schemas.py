@@ -1,0 +1,130 @@
+"""Tests for the §3 micro-benchmark schemas (JSON adjacency, hash attrs)."""
+
+import pytest
+
+from repro.baselines.schemas import HashAttributeTable, JsonAdjacencyStore
+from repro.datasets.random_graphs import random_property_graph
+from repro.datasets.tinker import paper_figure_graph
+from repro.graph.model import PropertyGraph
+
+
+class TestJsonAdjacency:
+    @pytest.fixture
+    def loaded(self):
+        store = JsonAdjacencyStore()
+        store.load_graph(paper_figure_graph())
+        return store
+
+    def test_one_hop_out(self, loaded):
+        assert sorted(loaded.neighbors([1], "out")) == [2, 3, 4]
+
+    def test_one_hop_in(self, loaded):
+        assert sorted(loaded.neighbors([3], "in")) == [1, 4]
+
+    def test_label_filter(self, loaded):
+        assert sorted(loaded.neighbors([1], "out", ("knows",))) == [2, 4]
+
+    def test_k_hop(self, loaded):
+        assert sorted(loaded.k_hop([1], 2, "out")) == [2, 3]
+
+    def test_k_hop_undirected(self, loaded):
+        result = loaded.k_hop([2], 2, undirected=True)
+        assert 3 in result  # 2 <- 1/4 -> 3
+
+    def test_empty_frontier(self, loaded):
+        assert loaded.neighbors([], "out") == []
+
+    def test_matches_direct_graph_traversal(self):
+        graph = random_property_graph(seed=4, n_vertices=30, n_edges=80)
+        store = JsonAdjacencyStore()
+        store.load_graph(graph)
+        for start in list(graph.vertex_ids())[:5]:
+            expected = sorted(
+                {
+                    v.id
+                    for mid in graph.get_vertex(start).vertices(
+                        __import__(
+                            "repro.graph.blueprints", fromlist=["Direction"]
+                        ).Direction.OUT
+                    )
+                    for v in mid.vertices(
+                        __import__(
+                            "repro.graph.blueprints", fromlist=["Direction"]
+                        ).Direction.OUT
+                    )
+                }
+            )
+            assert sorted(store.k_hop([start], 2, "out")) == expected
+
+    def test_storage_bytes(self, loaded):
+        assert loaded.storage_bytes() > 0
+
+
+class TestHashAttributeTable:
+    @pytest.fixture
+    def loaded(self):
+        table = HashAttributeTable()
+        table.load_graph(paper_figure_graph())
+        return table
+
+    def test_exists_lookup(self, loaded):
+        result = loaded.database.execute(loaded.exists_sql("age"))
+        assert sorted(row[0] for row in result.rows) == [1, 2, 4]
+
+    def test_string_equality(self, loaded):
+        sql = loaded.string_lookup_sql("name", equals="marko")
+        assert loaded.database.execute(sql).rows == [(1,)]
+
+    def test_like_lookup(self, loaded):
+        sql = loaded.string_lookup_sql("name", like_pattern="%o%")
+        result = loaded.database.execute(sql)
+        assert sorted(row[0] for row in result.rows) == [1, 3, 4]
+
+    def test_numeric_lookup_needs_cast(self, loaded):
+        sql = loaded.numeric_lookup_sql("age", ">", 28)
+        assert "CAST" in sql
+        result = loaded.database.execute(sql)
+        assert sorted(row[0] for row in result.rows) == [1, 4]
+
+    def test_value_index_creation(self, loaded):
+        loaded.create_value_index("name")
+        sql = loaded.string_lookup_sql("name", equals="josh")
+        assert loaded.database.execute(sql).rows == [(4,)]
+
+    def test_long_strings_move_to_overflow(self):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"bio": "x" * 200, "name": "a"})
+        table = HashAttributeTable()
+        table.load_graph(graph)
+        assert table.stats.long_string_rows == 1
+        overflow = table.database.execute("SELECT val FROM vah_long")
+        assert overflow.rows[0][0] == "x" * 200
+
+    def test_multi_values_move_to_overflow(self):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"alias": ["a", "b", "c"]})
+        table = HashAttributeTable()
+        table.load_graph(graph)
+        assert table.stats.multi_value_rows == 3
+
+    def test_spills_with_capped_columns(self):
+        graph = PropertyGraph()
+        graph.add_vertex(1, {"a": 1, "b": 2, "c": 3, "d": 4})
+        table = HashAttributeTable(max_columns=2)
+        table.load_graph(graph)
+        assert table.stats.spill_rows > 0
+
+    def test_stats_shape(self, loaded):
+        stats = loaded.stats
+        assert stats.hashed_keys == 3  # name, age, lang
+        assert stats.vertices == 4
+        assert stats.bucket_size > 0
+        assert stats.spill_percentage == 0.0
+
+    def test_types_recorded(self, loaded):
+        coloring = loaded.coloring
+        column = coloring.column_for("age")
+        result = loaded.database.execute(
+            f"SELECT DISTINCT type{column} FROM vah WHERE attr{column} = 'age'"
+        )
+        assert result.rows == [("INTEGER",)]

@@ -1,0 +1,147 @@
+"""Tests for the native and KV baseline stores."""
+
+import pytest
+
+from repro.baselines import ClientServerLink, KVGraphStore, NativeGraphStore
+from repro.baselines.kv import SortedKV
+from repro.datasets.tinker import paper_figure_graph
+from repro.graph.blueprints import Direction
+
+QUERIES = [
+    "g.V.count()",
+    "g.v(1).out('knows').name",
+    "g.V.has('age', T.gt, 28).name",
+    "g.v(4).both.dedup().count()",
+    "g.E.has('weight', T.gte, 0.8).count()",
+    "g.v(1).outE.inV.name",
+    "g.V('name','marko').out.count()",
+]
+
+
+@pytest.fixture(params=["native", "kv"])
+def store(request):
+    if request.param == "native":
+        instance = NativeGraphStore()
+    else:
+        instance = KVGraphStore()
+    instance.load_graph(paper_figure_graph())
+    return instance
+
+
+class TestGremlinOverBaselines:
+    def test_queries_match_reference(self, store, figure_graph):
+        from repro.gremlin import GremlinInterpreter, parse_gremlin
+
+        reference = GremlinInterpreter(figure_graph)
+        for text in QUERIES:
+            expected = reference.run(parse_gremlin(text))
+            expected = [
+                value.id if hasattr(value, "get_property") else value
+                for value in expected
+            ]
+            assert sorted(map(repr, store.run(text))) == sorted(
+                map(repr, expected)
+            ), text
+
+    def test_attribute_index_lookup(self, store):
+        store.create_attribute_index("name")
+        assert store.run("g.V('name','josh')") == [4]
+
+    def test_round_trips_charged_per_primitive(self, store):
+        store.client.reset()
+        store.run("g.v(1).out.name")
+        # 1 adjacent call + 3 property calls at least
+        assert store.client.calls >= 4
+
+
+class TestBaselineCrud:
+    def test_add_get_vertex(self, store):
+        store.add_vertex(50, {"name": "newbie"})
+        assert store.get_vertex(50).get_property("name") == "newbie"
+        assert store.vertex_count() == 5
+
+    def test_add_edge_and_navigate(self, store):
+        store.add_edge(2, 3, "likes", 77, {"w": 1})
+        edge = store.get_edge(77)
+        assert edge.label == "likes"
+        assert edge.vertex(Direction.OUT).id == 2
+        assert 3 in [v.id for v in store.get_vertex(2).vertices(Direction.OUT)]
+
+    def test_remove_edge(self, store):
+        assert store.remove_edge(10)
+        assert store.get_edge(10) is None
+        assert store.edge_count() == 4
+
+    def test_remove_vertex_cascades(self, store):
+        assert store.remove_vertex(3)
+        assert store.get_vertex(3) is None
+        assert store.edge_count() == 3
+
+    def test_set_properties(self, store):
+        store.set_vertex_property(1, "age", 99)
+        assert store.get_vertex(1).get_property("age") == 99
+        store.set_edge_property(7, "weight", 0.1)
+        assert store.get_edge(7).get_property("weight") == 0.1
+
+
+class TestSortedKV:
+    def test_put_get_delete(self):
+        kv = SortedKV()
+        kv.put(("a", 1), {"x": 1})
+        assert kv.get(("a", 1)) == {"x": 1}
+        assert kv.delete(("a", 1))
+        assert kv.get(("a", 1)) is None
+        assert not kv.delete(("a", 1))
+
+    def test_prefix_scan(self):
+        kv = SortedKV()
+        kv.bulk_load(
+            [(("adj", 1, "o", "x", i), i) for i in range(3)]
+            + [(("adj", 2, "o", "x", 9), 9)]
+        )
+        keys = [key for key, __ in kv.scan_prefix(("adj", 1))]
+        assert len(keys) == 3
+        assert all(key[1] == 1 for key in keys)
+
+    def test_scan_counts_reads(self):
+        kv = SortedKV()
+        kv.bulk_load([(("v", i), i) for i in range(5)])
+        before = kv.reads
+        list(kv.scan_prefix(("v",)))
+        assert kv.reads == before + 5
+
+    def test_values_are_serialized(self):
+        kv = SortedKV()
+        payload = {"nested": [1, 2]}
+        kv.put(("k",), payload)
+        returned = kv.get(("k",))
+        assert returned == payload
+        assert returned is not payload  # round-tripped through bytes
+
+    def test_storage_bytes(self):
+        kv = SortedKV()
+        kv.put(("k",), "x" * 100)
+        assert kv.storage_bytes() > 100
+
+
+class TestLatencyModel:
+    def test_counting_mode(self):
+        link = ClientServerLink(rtt_seconds=0.001)
+        link.round_trip(5)
+        assert link.calls == 5
+        assert link.simulated_seconds == pytest.approx(0.005)
+
+    def test_sleep_mode_pays_wall_clock(self):
+        import time
+
+        link = ClientServerLink(rtt_seconds=0.01, sleep=True)
+        start = time.perf_counter()
+        link.round_trip(3)
+        assert time.perf_counter() - start >= 0.03
+
+    def test_reset_and_snapshot(self):
+        link = ClientServerLink(rtt_seconds=1)
+        link.round_trip()
+        assert link.snapshot() == {"calls": 1, "seconds": 1}
+        link.reset()
+        assert link.calls == 0

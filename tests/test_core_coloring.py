@@ -1,0 +1,94 @@
+"""Tests for the co-occurrence coloring hash."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.coloring import (
+    ColoringHash,
+    adjacency_label_sets,
+    attribute_key_sets,
+)
+from repro.datasets.tinker import paper_figure_graph
+
+
+class TestColoring:
+    def test_cooccurring_labels_get_distinct_columns(self):
+        coloring = ColoringHash().fit([["a", "b"], ["b", "c"], ["a", "c"]])
+        assert coloring.column_for("a") != coloring.column_for("b")
+        assert coloring.column_for("b") != coloring.column_for("c")
+        assert coloring.column_for("a") != coloring.column_for("c")
+
+    def test_disjoint_labels_share_columns(self):
+        coloring = ColoringHash().fit([["a"], ["b"], ["c"]])
+        assert coloring.num_columns == 1
+
+    def test_paper_example(self):
+        """knows/likes may share a column; created must differ from both."""
+        graph = paper_figure_graph()
+        coloring = ColoringHash().fit(adjacency_label_sets(graph, "out"))
+        assert coloring.column_for("knows") != coloring.column_for("created")
+        assert coloring.column_for("likes") != coloring.column_for("created")
+
+    def test_unknown_label_falls_back_deterministically(self):
+        coloring = ColoringHash().fit([["a", "b"]])
+        first = coloring.column_for("mystery")
+        assert first == coloring.column_for("mystery")
+        assert 0 <= first < coloring.num_columns
+        assert not coloring.known("mystery")
+
+    def test_max_columns_cap(self):
+        coloring = ColoringHash(max_columns=2).fit(
+            [["a", "b", "c", "d"]]
+        )
+        assert coloring.num_columns <= 2
+        assert coloring.conflict_labels  # the cap forced conflicts
+
+    def test_empty_fit(self):
+        coloring = ColoringHash().fit([])
+        assert coloring.num_columns == 1
+        assert len(coloring) == 0
+
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+                min_size=1, max_size=4,
+            ),
+            min_size=1, max_size=20,
+        )
+    )
+    def test_coloring_invariant(self, label_sets):
+        """Without a cap, co-occurring labels never share a column."""
+        coloring = ColoringHash().fit(label_sets)
+        for labels in label_sets:
+            distinct = list(dict.fromkeys(labels))
+            columns = [coloring.column_for(label) for label in distinct]
+            assert len(set(columns)) == len(distinct)
+
+
+class TestLabelSetExtraction:
+    def test_adjacency_label_sets(self):
+        graph = paper_figure_graph()
+        out_sets = [sorted(s) for s in adjacency_label_sets(graph, "out")]
+        assert ["created", "knows"] in out_sets
+        assert ["created", "likes"] in out_sets
+
+    def test_in_direction(self):
+        graph = paper_figure_graph()
+        in_sets = [sorted(s) for s in adjacency_label_sets(graph, "in")]
+        assert ["knows", "likes"] in in_sets
+
+    def test_sample_limit(self):
+        graph = paper_figure_graph()
+        limited = list(adjacency_label_sets(graph, "out", sample_limit=1))
+        assert len(limited) <= 1
+
+    def test_attribute_key_sets(self):
+        graph = paper_figure_graph()
+        key_sets = [sorted(s) for s in attribute_key_sets(graph)]
+        assert ["age", "name"] in key_sets
+        assert ["lang", "name"] in key_sets
+
+    def test_attribute_key_sets_edges(self):
+        graph = paper_figure_graph()
+        key_sets = list(attribute_key_sets(graph, element="edge"))
+        assert all(s == ["weight"] for s in key_sets)

@@ -1,0 +1,127 @@
+"""Tests for CRUD stored procedures and the negative-id lazy delete."""
+
+import pytest
+
+from repro.core import SQLGraphStore
+from repro.datasets.tinker import paper_figure_graph
+
+
+@pytest.fixture
+def store():
+    instance = SQLGraphStore()
+    instance.load_graph(paper_figure_graph())
+    return instance
+
+
+class TestVertexCrud:
+    def test_add_and_get(self, store):
+        vid = store.add_vertex(properties={"name": "peter"})
+        vertex = store.get_vertex(vid)
+        assert vertex.get_property("name") == "peter"
+        assert store.run("g.V('name','peter')") == [vid]
+
+    def test_vertex_count_tracks_adds(self, store):
+        before = store.vertex_count()
+        store.add_vertex()
+        assert store.vertex_count() == before + 1
+
+    def test_update_merges_properties(self, store):
+        store.set_vertex_property(1, "age", 30)
+        vertex = store.get_vertex(1)
+        assert vertex.get_property("age") == 30
+        assert vertex.get_property("name") == "marko"
+
+    def test_delete_hides_vertex(self, store):
+        assert store.remove_vertex(2)
+        assert store.get_vertex(2) is None
+        assert store.run("g.V('name','vadas')") == []
+        assert store.vertex_count() == 3
+
+    def test_delete_uses_negative_id_tombstone(self, store):
+        store.remove_vertex(2)
+        raw = store.database.execute("SELECT vid FROM va WHERE vid < 0")
+        assert raw.rows == [(-3,)]  # -vid - 1
+
+    def test_delete_removes_incident_ea_rows(self, store):
+        store.remove_vertex(2)
+        remaining = store.database.execute("SELECT eid FROM ea").rows
+        # edges 7 (1->2) and 10 (4->2) disappear
+        assert sorted(eid for (eid,) in remaining) == [8, 9, 11]
+
+    def test_delete_missing_returns_false(self, store):
+        assert not store.remove_vertex(99)
+
+    def test_deleted_vertex_not_a_start_point(self, store):
+        store.remove_vertex(1)
+        assert store.run("g.V.count()") == [3]
+
+
+class TestEdgeCrud:
+    def test_add_edge_single_slot(self, store):
+        eid = store.add_edge(2, 3, "likes", properties={"weight": 0.7})
+        edge = store.get_edge(eid)
+        assert edge.label == "likes"
+        assert edge.get_property("weight") == 0.7
+        assert sorted(store.run("g.v(2).out")) == [3]
+
+    def test_add_edge_migrates_to_multivalue(self, store):
+        """Vertex 4 has one likes edge inline; adding a second must move
+        both into OSA behind a lid marker."""
+        store.add_edge(4, 3, "likes", properties={})
+        assert sorted(store.run("g.v(4).out('likes')")) == [2, 3]
+        column = store.loader.out_coloring.column_for("likes")
+        marker = store.database.execute(
+            f"SELECT val{column} FROM opa WHERE vid = 4 AND lbl{column} = 'likes'"
+        ).scalar()
+        assert str(marker).startswith("lid:")
+
+    def test_add_edge_appends_to_existing_multivalue(self, store):
+        store.add_edge(1, 3, "knows")
+        assert sorted(store.run("g.v(1).out('knows')")) == [2, 3, 4]
+
+    def test_add_edge_conflicting_label_spills(self, store):
+        """An unseen label hashing onto an occupied column makes a spill row."""
+        for i, label in enumerate(
+            ["alpha", "beta", "gamma", "delta", "epsilon"]
+        ):
+            store.add_edge(1, 2, label)
+        rows = store.database.execute(
+            "SELECT COUNT(*) FROM opa WHERE vid = 1"
+        ).scalar()
+        assert rows >= 2
+        spill = store.database.execute(
+            "SELECT MAX(spill) FROM opa WHERE vid = 1"
+        ).scalar()
+        assert spill == 1
+        # traversals still see everything
+        assert sorted(store.run("g.v(1).out('alpha','beta','gamma')")) == [
+            2, 2, 2,
+        ]
+
+    def test_update_edge(self, store):
+        store.set_edge_property(9, "weight", 0.99)
+        assert store.get_edge(9).get_property("weight") == 0.99
+
+    def test_delete_inline_edge(self, store):
+        assert store.remove_edge(10)  # 4-likes->2, stored inline
+        assert store.get_edge(10) is None
+        assert store.run("g.v(4).out('likes')") == []
+
+    def test_delete_multivalue_edge(self, store):
+        assert store.remove_edge(7)  # one of the two knows edges of 1
+        assert store.run("g.v(1).out('knows')") == [4]
+        assert store.get_edge(7) is None
+
+    def test_delete_missing_edge(self, store):
+        assert not store.remove_edge(999)
+
+    def test_edge_count(self, store):
+        before = store.edge_count()
+        store.add_edge(2, 3, "likes")
+        store.remove_edge(9)
+        assert store.edge_count() == before
+
+    def test_new_edge_visible_in_both_directions(self, store):
+        store.add_edge(3, 1, "references")
+        assert store.run("g.v(3).out('references')") == [1]
+        assert store.run("g.v(1).in('references')") == [3]

@@ -1,0 +1,123 @@
+"""Tests for the SQLGraphStore facade."""
+
+import pytest
+
+from repro.baselines.latency import ClientServerLink
+from repro.core import SQLGraphStore
+from repro.datasets.tinker import paper_figure_graph
+from repro.graph.blueprints import Direction
+
+
+@pytest.fixture
+def store():
+    instance = SQLGraphStore()
+    instance.load_graph(paper_figure_graph())
+    return instance
+
+
+class TestFacade:
+    def test_query_returns_resultset(self, store):
+        result = store.query("g.V.count()")
+        assert result.columns[0] == "val"
+        assert result.rows == [(4,)]
+
+    def test_run_extracts_values(self, store):
+        assert store.run("g.V.count()") == [4]
+
+    def test_execute_sql_escape_hatch(self, store):
+        result = store.execute_sql("SELECT COUNT(*) FROM ea")
+        assert result.scalar() == 5
+
+    def test_attribute_index_used_by_planner(self, store):
+        store.create_attribute_index("vertex", "name")
+        index = store.database.table("va").find_index(
+            "json_val(col(attr),'name')"
+        )
+        assert index is not None
+        assert store.run("g.V('name','josh')") == [4]
+
+    def test_sorted_attribute_index(self, store):
+        store.create_attribute_index("vertex", "age", sorted_index=True)
+        assert sorted(store.run("g.V.has('age', T.gt, 28)")) == [1, 4]
+
+    def test_table_stats(self, store):
+        stats = store.table_stats()
+        assert stats["rows"]["va"] == 4
+        assert stats["rows"]["ea"] == 5
+        assert stats["load"].vertex_count == 4
+
+    def test_storage_bytes_positive(self, store):
+        assert store.storage_bytes() > 0
+
+    def test_round_trip_accounting(self):
+        link = ClientServerLink()
+        instance = SQLGraphStore(client=link)
+        instance.load_graph(paper_figure_graph())
+        instance.run("g.V.count()")
+        assert link.calls == 1  # one query = one round trip
+        instance.get_vertex(1)
+        assert link.calls == 2
+
+    def test_queries_translated_counter(self, store):
+        before = store.queries_translated
+        store.run("g.V.count()")
+        assert store.queries_translated == before + 1
+
+
+class TestBlueprintsHandles:
+    def test_vertices_iterator(self, store):
+        names = sorted(
+            vertex.get_property("name") for vertex in store.vertices()
+        )
+        assert names == ["josh", "lop", "marko", "vadas"]
+
+    def test_edges_iterator(self, store):
+        labels = sorted(edge.label for edge in store.edges())
+        assert labels == ["created", "created", "knows", "knows", "likes"]
+
+    def test_lazy_vertex_navigation(self, store):
+        vertex = store.get_vertex(1)
+        out = sorted(v.id for v in vertex.vertices(Direction.OUT))
+        assert out == [2, 3, 4]
+        knows = sorted(
+            v.id for v in vertex.vertices(Direction.OUT, ("knows",))
+        )
+        assert knows == [2, 4]
+
+    def test_lazy_vertex_edges(self, store):
+        vertex = store.get_vertex(4)
+        edges = sorted(edge.id for edge in vertex.edges(Direction.BOTH))
+        assert edges == [8, 10, 11]
+
+    def test_lazy_edge_endpoints(self, store):
+        edge = store.get_edge(9)
+        assert edge.vertex(Direction.OUT).id == 1
+        assert edge.vertex(Direction.IN).id == 3
+
+    def test_interpreter_over_sqlgraph_blueprints(self, store):
+        """The pipe-at-a-time ablation path: reference interpreter driving
+        SQLGraph's Blueprints handles must agree with translation."""
+        from repro.gremlin import GremlinInterpreter, parse_gremlin
+
+        interpreter = GremlinInterpreter(store)
+        result = interpreter.run(parse_gremlin("g.v(1).out('knows').name"))
+        assert sorted(result) == sorted(store.run("g.v(1).out('knows').name"))
+
+
+class TestExportGraph:
+    def test_round_trip(self, store):
+        exported = store.export_graph()
+        assert exported.vertex_count() == 4
+        assert exported.edge_count() == 5
+        assert exported.get_vertex(1).get_property("name") == "marko"
+        assert exported.get_edge(9).label == "created"
+        # reload the export into a fresh store: queries agree
+        clone = SQLGraphStore()
+        clone.load_graph(exported)
+        assert clone.run("g.v(1).out.name") == store.run("g.v(1).out.name")
+
+    def test_export_skips_tombstones(self, store):
+        store.remove_vertex(2)
+        exported = store.export_graph()
+        assert exported.get_vertex(2) is None
+        assert exported.edge_count() == 3

@@ -1,0 +1,162 @@
+"""Tests for the dataset generators."""
+
+from repro.datasets import dbpedia, linkbench
+from repro.datasets.random_graphs import random_property_graph
+from repro.datasets.tinker import paper_figure_graph, tinkerpop_classic
+from repro.graph.blueprints import Direction
+
+
+class TestTinker:
+    def test_paper_figure_shape(self):
+        graph = paper_figure_graph()
+        assert graph.vertex_count() == 4
+        assert graph.edge_count() == 5
+        assert graph.get_edge(9).get_property("weight") == 0.4
+
+    def test_classic_shape(self):
+        graph = tinkerpop_classic()
+        assert graph.vertex_count() == 6
+        assert graph.edge_count() == 6
+
+
+class TestRandomGraphs:
+    def test_deterministic(self):
+        first = random_property_graph(seed=5)
+        second = random_property_graph(seed=5)
+        assert first.vertex_count() == second.vertex_count()
+        assert sorted(e.label for e in first.edges()) == sorted(
+            e.label for e in second.edges()
+        )
+
+    def test_seed_changes_graph(self):
+        first = random_property_graph(seed=5, n_edges=40)
+        second = random_property_graph(seed=6, n_edges=40)
+        pairs_a = {(e.out_vertex.id, e.in_vertex.id) for e in first.edges()}
+        pairs_b = {(e.out_vertex.id, e.in_vertex.id) for e in second.edges()}
+        assert pairs_a != pairs_b
+
+    def test_requested_sizes(self):
+        graph = random_property_graph(seed=1, n_vertices=17, n_edges=23)
+        assert graph.vertex_count() == 17
+        assert graph.edge_count() == 23
+
+
+SMALL = dbpedia.DBpediaConfig(
+    places=300, players=200, teams=20, persons=60, artists=40, seed=3
+)
+
+
+class TestDBpediaGenerator:
+    def test_deterministic(self):
+        first = dbpedia.generate(SMALL)
+        second = dbpedia.generate(SMALL)
+        assert first.graph.vertex_count() == second.graph.vertex_count()
+        assert first.graph.edge_count() == second.graph.edge_count()
+
+    def test_structure(self):
+        data = dbpedia.generate(SMALL)
+        assert len(data.place_ids) == 300
+        assert len(data.player_ids) == 200
+        # every player has at least one team edge
+        for player_id in data.player_ids[:20]:
+            vertex = data.graph.get_vertex(player_id)
+            assert vertex.degree(Direction.OUT, ("team",)) >= 1
+
+    def test_ispartof_depth_supports_nine_hops(self):
+        data = dbpedia.generate(dbpedia.DBpediaConfig(places=2000, seed=1,
+                                                      players=10, teams=2,
+                                                      persons=5, artists=5))
+        graph = data.graph
+        depth = 0
+        for place_id in data.place_ids:
+            hops = 0
+            current = graph.get_vertex(place_id)
+            while True:
+                parents = list(current.vertices(Direction.OUT, ("isPartOf",)))
+                if not parents:
+                    break
+                current = parents[0]
+                hops += 1
+            depth = max(depth, hops)
+        assert depth >= 9
+
+    def test_edges_have_provenance(self):
+        data = dbpedia.generate(SMALL)
+        edge = next(iter(data.graph.edges()))
+        assert "oldid" in edge.properties
+        assert "section" in edge.properties
+
+    def test_type_edges_exist(self):
+        data = dbpedia.generate(SMALL)
+        place_type = data.graph.get_vertex(data.type_ids["Place"])
+        assert place_type.degree(Direction.IN, ("rdf:type",)) == 300
+
+    def test_tag_buckets_have_expected_order(self):
+        data = dbpedia.generate(dbpedia.DBpediaConfig(seed=5))
+        counts = {"large": 0, "mid": 0, "small": 0}
+        for place_id in data.place_ids:
+            tag = data.graph.get_vertex(place_id).get_property("tag")
+            if tag in counts:
+                counts[tag] += 1
+        assert counts["large"] > counts["mid"] > counts["small"] > 0
+
+    def test_query_sets_well_formed(self):
+        from repro.gremlin.parser import parse_gremlin
+
+        data = dbpedia.generate(SMALL)
+        for __, text, __meta in dbpedia.adjacency_queries(data):
+            parse_gremlin(text)
+        for __, text in dbpedia.benchmark_queries(data):
+            parse_gremlin(text)
+        assert len(dbpedia.benchmark_queries(data)) == 20
+        assert len(dbpedia.path_queries(data)) == 11
+        assert len(dbpedia.ATTRIBUTE_QUERIES) == 16
+
+
+class TestLinkBenchGenerator:
+    def test_build_sizes(self):
+        data = linkbench.build_graph(linkbench.LinkBenchConfig(nodes=500))
+        assert data.graph.vertex_count() == 500
+        assert data.graph.edge_count() == 2000
+
+    def test_node_attributes(self):
+        data = linkbench.build_graph(linkbench.LinkBenchConfig(nodes=100))
+        vertex = data.graph.get_vertex(1)
+        assert vertex.get_property("type") in linkbench.NODE_TYPES
+        assert len(vertex.get_property("data")) == 96
+
+    def test_power_law_hubness(self):
+        data = linkbench.build_graph(linkbench.LinkBenchConfig(nodes=500))
+        degrees = sorted(
+            (v.degree(Direction.OUT) for v in data.graph.vertices()),
+            reverse=True,
+        )
+        assert degrees[0] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_operation_mix_sums_to_one(self):
+        assert abs(sum(w for __, w in linkbench.OPERATION_MIX) - 1.0) < 1e-9
+
+    def test_request_generator_distribution(self):
+        data = linkbench.build_graph(linkbench.LinkBenchConfig(nodes=200))
+        generator = linkbench.RequestGenerator(data, seed=1)
+        counts = {}
+        for __ in range(4000):
+            name, __args = next(generator)
+            counts[name] = counts.get(name, 0) + 1
+        assert counts["get_link_list"] > counts["get_node"] > counts["add_node"]
+        assert counts["get_link_list"] / 4000 > 0.4
+
+    def test_generators_allocate_disjoint_ids(self):
+        data = linkbench.build_graph(linkbench.LinkBenchConfig(nodes=100))
+        first = linkbench.RequestGenerator(data, seed=1, requester_id=0)
+        second = linkbench.RequestGenerator(data, seed=1, requester_id=1)
+        ids_a = set()
+        ids_b = set()
+        for __ in range(500):
+            name, args = next(first)
+            if name in ("add_node", "add_link"):
+                ids_a.add(args["id"])
+            name, args = next(second)
+            if name in ("add_node", "add_link"):
+                ids_b.add(args["id"])
+        assert not (ids_a & ids_b)

@@ -1,0 +1,86 @@
+"""Tests for EXPLAIN and planner regime options."""
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.errors import BindError
+
+
+def make_db(planner_options=None):
+    database = Database(planner_options=planner_options)
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    database.execute("CREATE TABLE u (id INTEGER, t_id INTEGER)")
+    database.execute("CREATE INDEX u_tid ON u (t_id)")
+    for i in range(300):
+        database.execute("INSERT INTO t VALUES (?, ?)", [i, i % 5])
+        database.execute("INSERT INTO u VALUES (?, ?)", [i, (i * 7) % 300])
+    return database
+
+
+class TestExplain:
+    def test_explain_returns_plan_rows(self):
+        database = make_db()
+        result = database.execute("EXPLAIN SELECT v FROM t WHERE id = 5")
+        assert result.columns == ["plan"]
+        text = "\n".join(row[0] for row in result.rows)
+        assert "IndexEqScan(t" in text
+        assert "ProjectOp" in text
+
+    def test_explain_shows_join_strategy(self):
+        database = make_db()
+        text = "\n".join(
+            row[0]
+            for row in database.execute(
+                "EXPLAIN SELECT t.v FROM t, u WHERE t.id = u.t_id"
+            ).rows
+        )
+        assert "IndexNLJoin" in text or "HashJoin" in text
+
+    def test_explain_shows_estimates(self):
+        database = make_db()
+        text = "\n".join(
+            row[0]
+            for row in database.execute("EXPLAIN SELECT * FROM t").rows
+        )
+        assert "est_rows=300" in text
+
+    def test_explain_does_not_execute(self):
+        database = make_db()
+        database.execute("EXPLAIN SELECT COUNT(*) FROM t")
+        # table contents untouched
+        assert database.execute("SELECT COUNT(*) FROM t").scalar() == 300
+
+    def test_explain_dml_rejected(self):
+        database = make_db()
+        with pytest.raises(BindError):
+            database.execute("EXPLAIN DELETE FROM t")
+
+    def test_explain_with_cte(self):
+        database = make_db()
+        result = database.execute(
+            "EXPLAIN WITH x AS (SELECT id FROM t) SELECT COUNT(*) FROM x"
+        )
+        text = "\n".join(row[0] for row in result.rows)
+        assert "MaterializedScan" in text
+
+
+class TestPlannerOptions:
+    def test_high_probe_cost_prefers_hash_join(self):
+        cheap_probe = make_db()
+        costly_probe = make_db(planner_options={"index_probe_cost": 1000.0})
+        sql = "SELECT COUNT(*) FROM t, u WHERE t.id = u.t_id"
+        cheap_plan = "\n".join(
+            row[0] for row in cheap_probe.execute("EXPLAIN " + sql).rows
+        )
+        costly_plan = "\n".join(
+            row[0] for row in costly_probe.execute("EXPLAIN " + sql).rows
+        )
+        assert "IndexNLJoin" in cheap_plan
+        assert "HashJoin" in costly_plan
+        # both regimes agree on the answer
+        assert cheap_probe.execute(sql).scalar() == costly_probe.execute(
+            sql
+        ).scalar()
+
+    def test_options_default_empty(self):
+        assert Database().planner_options == {}

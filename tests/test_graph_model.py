@@ -1,0 +1,137 @@
+"""Tests for the property-graph object model."""
+
+import pytest
+
+from repro.graph import Direction, PropertyGraph
+
+
+def sample():
+    graph = PropertyGraph()
+    graph.add_vertex(1, {"name": "a"})
+    graph.add_vertex(2, {"name": "b"})
+    graph.add_vertex(3)
+    graph.add_edge(1, 2, "knows", 10, {"w": 0.5})
+    graph.add_edge(1, 3, "likes", 11)
+    graph.add_edge(2, 3, "knows", 12)
+    return graph
+
+
+class TestVerticesAndEdges:
+    def test_counts(self):
+        graph = sample()
+        assert graph.vertex_count() == 3
+        assert graph.edge_count() == 3
+
+    def test_get(self):
+        graph = sample()
+        assert graph.get_vertex(1).get_property("name") == "a"
+        assert graph.get_edge(10).label == "knows"
+        assert graph.get_vertex(99) is None
+        assert graph.get_edge(99) is None
+
+    def test_auto_ids(self):
+        graph = PropertyGraph()
+        first = graph.add_vertex()
+        second = graph.add_vertex()
+        assert second.id == first.id + 1
+
+    def test_duplicate_vertex_rejected(self):
+        graph = sample()
+        with pytest.raises(ValueError):
+            graph.add_vertex(1)
+
+    def test_edge_requires_endpoints(self):
+        graph = sample()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 99, "x")
+
+    def test_edge_endpoints(self):
+        graph = sample()
+        edge = graph.get_edge(10)
+        assert edge.vertex(Direction.OUT).id == 1
+        assert edge.vertex(Direction.IN).id == 2
+
+    def test_edge_labels(self):
+        assert sample().edge_labels() == {"knows", "likes"}
+
+
+class TestAdjacency:
+    def test_out_vertices(self):
+        graph = sample()
+        out = sorted(v.id for v in graph.get_vertex(1).vertices(Direction.OUT))
+        assert out == [2, 3]
+
+    def test_in_vertices(self):
+        graph = sample()
+        incoming = sorted(
+            v.id for v in graph.get_vertex(3).vertices(Direction.IN)
+        )
+        assert incoming == [1, 2]
+
+    def test_both(self):
+        graph = sample()
+        both = sorted(v.id for v in graph.get_vertex(2).vertices(Direction.BOTH))
+        assert both == [1, 3]
+
+    def test_label_filter(self):
+        graph = sample()
+        out = [
+            v.id for v in graph.get_vertex(1).vertices(Direction.OUT, ("knows",))
+        ]
+        assert out == [2]
+
+    def test_edges_by_direction(self):
+        graph = sample()
+        assert {
+            e.id for e in graph.get_vertex(1).edges(Direction.OUT)
+        } == {10, 11}
+        assert {e.id for e in graph.get_vertex(3).edges(Direction.IN)} == {11, 12}
+
+    def test_degree(self):
+        graph = sample()
+        assert graph.get_vertex(1).degree(Direction.OUT) == 2
+        assert graph.get_vertex(1).degree() == 2
+
+
+class TestMutations:
+    def test_remove_edge(self):
+        graph = sample()
+        assert graph.remove_edge(10)
+        assert graph.get_edge(10) is None
+        assert graph.get_vertex(1).degree(Direction.OUT) == 1
+        assert graph.get_vertex(2).degree(Direction.IN) == 0
+
+    def test_remove_edge_missing(self):
+        assert not sample().remove_edge(99)
+
+    def test_remove_vertex_cascades(self):
+        graph = sample()
+        assert graph.remove_vertex(3)
+        assert graph.edge_count() == 1
+        assert graph.get_vertex(1).degree(Direction.OUT) == 1
+
+    def test_remove_vertex_missing(self):
+        assert not sample().remove_vertex(99)
+
+    def test_set_properties(self):
+        graph = sample()
+        graph.set_vertex_property(1, "age", 30)
+        graph.set_edge_property(10, "w", 0.9)
+        assert graph.get_vertex(1).get_property("age") == 30
+        assert graph.get_edge(10).get_property("w") == 0.9
+
+    def test_property_keys_and_remove(self):
+        graph = sample()
+        vertex = graph.get_vertex(1)
+        assert vertex.property_keys() == ["name"]
+        assert vertex.remove_property("name") == "a"
+        assert vertex.get_property("name") is None
+
+    def test_copy_is_independent(self):
+        graph = sample()
+        clone = graph.copy()
+        clone.set_vertex_property(1, "name", "zzz")
+        clone.remove_edge(10)
+        assert graph.get_vertex(1).get_property("name") == "a"
+        assert graph.get_edge(10) is not None
+        assert clone.vertex_count() == graph.vertex_count()

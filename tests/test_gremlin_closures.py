@@ -1,0 +1,92 @@
+"""Tests for closure evaluation and static loop-bound extraction."""
+
+from repro.gremlin import closures as cl
+
+
+def env(obj=None, loops=1):
+    return cl.ClosureEnv(obj, loops)
+
+
+class TestEvaluate:
+    def test_property_access_on_dict(self):
+        node = cl.Compare("==", cl.PropRef("name"), cl.Const("x"))
+        assert cl.evaluate(node, env({"name": "x"})) is True
+        assert cl.evaluate(node, env({"name": "y"})) is False
+
+    def test_missing_property_is_none(self):
+        node = cl.Compare("==", cl.PropRef("name"), cl.Const(None))
+        assert cl.evaluate(node, env({})) is True
+
+    def test_loops_counter(self):
+        node = cl.Compare("<", cl.PropRef("loops"), cl.Const(3))
+        assert cl.evaluate(node, env(loops=2)) is True
+        assert cl.evaluate(node, env(loops=3)) is False
+
+    def test_ordering_with_none_is_false(self):
+        node = cl.Compare(">", cl.PropRef("age"), cl.Const(5))
+        assert cl.evaluate(node, env({})) is False
+
+    def test_incomparable_types_are_false(self):
+        node = cl.Compare("<", cl.Const("a"), cl.Const(3))
+        assert cl.evaluate(node, env()) is False
+
+    def test_arith(self):
+        node = cl.Compare(
+            "==", cl.Arith("+", cl.PropRef("a"), cl.Const(2)), cl.Const(5)
+        )
+        assert cl.evaluate(node, env({"a": 3})) is True
+
+    def test_division_by_zero_none(self):
+        node = cl.Arith("/", cl.Const(1), cl.Const(0))
+        assert cl.evaluate(node, env()) is None
+
+    def test_boolean_ops(self):
+        node = cl.BoolOr(
+            cl.BoolNot(cl.Const(True)),
+            cl.BoolAnd(cl.Const(True), cl.Const(True)),
+        )
+        assert cl.evaluate(node, env()) is True
+
+    def test_string_methods(self):
+        target = cl.PropRef("name")
+        e = env({"name": "marko"})
+        assert cl.evaluate(cl.StringMethod("contains", target, cl.Const("ark")), e)
+        assert cl.evaluate(cl.StringMethod("startsWith", target, cl.Const("ma")), e)
+        assert cl.evaluate(cl.StringMethod("endsWith", target, cl.Const("ko")), e)
+        assert not cl.evaluate(
+            cl.StringMethod("contains", target, cl.Const("zz")), e
+        )
+
+    def test_string_method_on_non_string_is_false(self):
+        node = cl.StringMethod("contains", cl.PropRef("age"), cl.Const("x"))
+        assert cl.evaluate(node, env({"age": 5})) is False
+
+
+class TestLoopAnalysis:
+    def test_references_only_loops(self):
+        node = cl.Compare("<", cl.PropRef("loops"), cl.Const(3))
+        assert cl.references_only_loops(node)
+
+    def test_other_property_detected(self):
+        node = cl.Compare("<", cl.PropRef("age"), cl.Const(3))
+        assert not cl.references_only_loops(node)
+
+    def test_it_ref_detected(self):
+        node = cl.Compare("==", cl.ItRef(), cl.Const(3))
+        assert not cl.references_only_loops(node)
+
+    def test_bound_lt(self):
+        node = cl.Compare("<", cl.PropRef("loops"), cl.Const(4))
+        assert cl.max_loops_bound(node) == 4
+
+    def test_bound_lte(self):
+        node = cl.Compare("<=", cl.PropRef("loops"), cl.Const(4))
+        assert cl.max_loops_bound(node) == 5
+
+    def test_bound_reversed(self):
+        node = cl.Compare(">", cl.Const(4), cl.PropRef("loops"))
+        assert cl.max_loops_bound(node) == 4
+
+    def test_no_static_bound(self):
+        node = cl.Compare("<", cl.PropRef("loops"), cl.PropRef("age"))
+        assert cl.max_loops_bound(node) is None

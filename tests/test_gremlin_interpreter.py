@@ -1,0 +1,189 @@
+"""Tests for the reference pipe-at-a-time interpreter.
+
+The classic 6-vertex TinkerPop graph is the fixture; expected results follow
+TinkerPop 2 semantics.
+"""
+
+import pytest
+
+from repro.gremlin import GremlinInterpreter, parse_gremlin
+from repro.gremlin.errors import GremlinError
+
+
+@pytest.fixture
+def interp(classic_graph):
+    return GremlinInterpreter(classic_graph)
+
+
+def ids(values):
+    return sorted(v.id for v in values)
+
+
+def run(interp, text):
+    return interp.run(parse_gremlin(text))
+
+
+class TestTransforms:
+    def test_all_vertices(self, interp):
+        assert len(run(interp, "g.V")) == 6
+
+    def test_vertex_by_id(self, interp):
+        assert ids(run(interp, "g.v(1)")) == [1]
+
+    def test_missing_id_silent(self, interp):
+        assert run(interp, "g.v(99)") == []
+
+    def test_out(self, interp):
+        assert ids(run(interp, "g.v(1).out")) == [2, 3, 4]
+
+    def test_out_label(self, interp):
+        assert ids(run(interp, "g.v(1).out('knows')")) == [2, 4]
+
+    def test_in(self, interp):
+        assert ids(run(interp, "g.v(3).in('created')")) == [1, 4, 6]
+
+    def test_both(self, interp):
+        assert ids(run(interp, "g.v(4).both")) == [1, 3, 5]
+
+    def test_out_edges_in_v(self, interp):
+        assert ids(run(interp, "g.v(1).outE('created').inV")) == [3]
+
+    def test_both_v(self, interp):
+        assert ids(run(interp, "g.e(7).bothV")) == [1, 2]
+
+    def test_property_pipe_drops_missing(self, interp):
+        names = run(interp, "g.V.lang")
+        assert sorted(names) == ["java", "java"]
+
+    def test_id_pipe(self, interp):
+        assert sorted(run(interp, "g.V.id")) == [1, 2, 3, 4, 5, 6]
+
+    def test_label_pipe(self, interp):
+        labels = run(interp, "g.v(1).outE.label")
+        assert sorted(labels) == ["created", "knows", "knows"]
+
+    def test_count(self, interp):
+        assert run(interp, "g.V.count()") == [6]
+
+    def test_path(self, interp):
+        paths = run(interp, "g.v(1).out('created').path")
+        assert len(paths) == 1
+        assert [e.id for e in paths[0]] == [1, 3]
+
+    def test_order(self, interp):
+        ages = run(interp, "g.V.age.order()")
+        assert ages == sorted(ages)
+
+
+class TestFilters:
+    def test_has_value(self, interp):
+        assert ids(run(interp, "g.V.has('name', 'marko')")) == [1]
+
+    def test_has_exists(self, interp):
+        assert len(run(interp, "g.V.has('age')")) == 4
+
+    def test_has_comparison(self, interp):
+        assert ids(run(interp, "g.V.has('age', T.gt, 30)")) == [4, 6]
+
+    def test_has_not(self, interp):
+        assert ids(run(interp, "g.V.hasNot('age')")) == [3, 5]
+
+    def test_interval(self, interp):
+        assert ids(run(interp, "g.V.interval('age', 27, 30)")) == [1, 2]
+
+    def test_filter_closure(self, interp):
+        assert ids(run(interp, "g.V.filter{it.age > 30}")) == [4, 6]
+
+    def test_dedup(self, interp):
+        assert ids(run(interp, "g.v(1).out.in.dedup()")) == [1, 4, 6]
+
+    def test_range(self, interp):
+        assert len(run(interp, "g.V.range(1, 3)")) == 3
+
+    def test_range_open_end(self, interp):
+        assert len(run(interp, "g.V.range(2, -1)")) == 4
+
+    def test_simple_path(self, interp):
+        assert ids(run(interp, "g.v(1).out.in.simplePath")) == [4, 6]
+
+    def test_except_retain_aggregate(self, interp):
+        result = run(interp, "g.v(1).out.aggregate(x).out.except(x).name")
+        assert result == ["ripple"]
+        result = run(interp, "g.v(1).out.aggregate(x).out.retain(x).name")
+        assert result == ["lop"]
+
+    def test_and_filter(self, interp):
+        assert ids(
+            run(interp, "g.V.and(_().out('knows'), _().out('created'))")
+        ) == [1]
+
+    def test_or_filter(self, interp):
+        assert ids(
+            run(interp, "g.V.or(_().has('lang'), _().has('age', T.lt, 28))")
+        ) == [2, 3, 5]
+
+
+class TestBranchesAndEffects:
+    def test_if_then_else(self, interp):
+        result = run(interp, "g.V.ifThenElse{it.age != null}{it.age}{-1}")
+        assert sorted(result) == [-1, -1, 27, 29, 32, 35]
+
+    def test_copy_split_exhaust(self, interp):
+        result = run(
+            interp,
+            "g.v(1).copySplit(_().out('knows'), _().out('created'))"
+            ".exhaustMerge().name",
+        )
+        assert result == ["vadas", "josh", "lop"]
+
+    def test_copy_split_fair(self, interp):
+        result = run(
+            interp,
+            "g.v(1).copySplit(_().out('knows'), _().out('created'))"
+            ".fairMerge().name",
+        )
+        assert result == ["vadas", "lop", "josh"]
+
+    def test_loop_fixed_depth(self, interp):
+        result = run(interp, "g.v(1).out.loop(1){it.loops < 2}.name")
+        assert sorted(result) == ["lop", "ripple"]
+
+    def test_loop_depth_three_empty(self, interp):
+        assert run(interp, "g.v(1).out.loop(1){it.loops < 3}") == []
+
+    def test_as_back(self, interp):
+        result = run(
+            interp, "g.V.as('x').out('created').has('lang','java').back('x').name"
+        )
+        assert sorted(result) == ["josh", "josh", "marko", "peter"]
+
+    def test_back_by_steps(self, interp):
+        result = run(interp, "g.v(1).out('knows').out('created').back(1).name")
+        assert sorted(result) == ["josh", "josh"]
+
+    def test_back_unmarked_raises(self, interp):
+        with pytest.raises(GremlinError):
+            run(interp, "g.V.out.back('nope')")
+
+    def test_aggregate_is_barrier(self, interp):
+        # except sees the full aggregate even for the first traverser
+        result = run(interp, "g.V.aggregate(x).out.except(x)")
+        assert result == []
+
+    def test_side_effects_are_identity(self, interp):
+        assert len(run(interp, "g.V.groupCount(m).table(t).iterate()")) == 6
+
+    def test_select(self, interp):
+        result = run(
+            interp, "g.v(1).as('a').out('knows').as('b').select('a', 'b')"
+        )
+        assert len(result) == 2
+        assert all(pair[0].id == 1 for pair in result)
+
+
+class TestStartByKeyValue:
+    def test_key_value_start(self, interp):
+        assert ids(run(interp, "g.V('lang', 'java')")) == [3, 5]
+
+    def test_edge_key_value_start(self, interp):
+        assert len(run(interp, "g.E('weight', 1.0)")) == 2

@@ -1,0 +1,56 @@
+"""Tests for the Gremlin tokenizer."""
+
+import pytest
+
+from repro.gremlin.errors import GremlinSyntaxError
+from repro.gremlin.lexer import tokenize
+
+
+def kinds(text):
+    return [(token.kind, token.value) for token in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_pipeline_shape(self):
+        tokens = kinds("g.V.out('knows')")
+        assert tokens == [
+            ("IDENT", "g"), ("OP", "."), ("IDENT", "V"), ("OP", "."),
+            ("IDENT", "out"), ("OP", "("), ("STRING", "knows"), ("OP", ")"),
+        ]
+
+    def test_double_quoted_strings(self):
+        assert kinds('"hi there"') == [("STRING", "hi there")]
+
+    def test_string_escapes(self):
+        assert kinds(r"'a\'b\nc'") == [("STRING", "a'b\nc")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(GremlinSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        assert kinds("1 2.5 1e3") == [
+            ("NUMBER", "1"), ("NUMBER", "2.5"), ("NUMBER", "1e3"),
+        ]
+
+    def test_range_operator_not_a_decimal(self):
+        values = [v for __, v in kinds("1..3")]
+        assert values == ["1", "..", "3"]
+
+    def test_closure_operators(self):
+        values = [v for __, v in kinds("{it.age >= 2 && !x || y != z}")]
+        assert "{" in values and "}" in values
+        assert ">=" in values and "&&" in values
+        assert "!" in values and "||" in values and "!=" in values
+
+    def test_comments_skipped(self):
+        assert kinds("g // trailing\n.V") == [
+            ("IDENT", "g"), ("OP", "."), ("IDENT", "V"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(GremlinSyntaxError):
+            tokenize("g.V @")
+
+    def test_underscore_identifier(self):
+        assert kinds("_()")[0] == ("IDENT", "_")

@@ -1,0 +1,218 @@
+"""Tests for Gremlin text parsing into the pipe AST."""
+
+import pytest
+
+from repro.gremlin import closures as cl
+from repro.gremlin import pipes as p
+from repro.gremlin.errors import GremlinSyntaxError, UnsupportedPipeError
+from repro.gremlin.parser import parse_gremlin
+
+
+def pipes_of(text):
+    return parse_gremlin(text).pipes
+
+
+class TestStartPipes:
+    def test_all_vertices(self):
+        (start,) = pipes_of("g.V")
+        assert isinstance(start, p.StartVertices)
+        assert not start.ids and start.key is None
+
+    def test_vertex_by_id(self):
+        (start,) = pipes_of("g.v(42)")
+        assert start.ids == [42]
+
+    def test_vertices_by_key_value(self):
+        (start,) = pipes_of("g.V('name', 'marko')")
+        assert start.key == "name" and start.value == "marko"
+
+    def test_all_edges(self):
+        (start,) = pipes_of("g.E")
+        assert isinstance(start, p.StartEdges)
+
+    def test_edge_by_id(self):
+        (start,) = pipes_of("g.e(7)")
+        assert start.ids == [7]
+
+    def test_requires_g(self):
+        with pytest.raises(GremlinSyntaxError):
+            parse_gremlin("h.V")
+
+
+class TestTraversalPipes:
+    def test_out_with_labels(self):
+        __, pipe = pipes_of("g.V.out('knows', 'likes')")
+        assert isinstance(pipe, p.Adjacent)
+        assert pipe.direction == "out"
+        assert pipe.labels == ("knows", "likes")
+
+    def test_in_keywordish_name(self):
+        __, pipe = pipes_of("g.V.in('knows')")
+        assert pipe.direction == "in"
+
+    def test_both_bare(self):
+        __, pipe = pipes_of("g.V.both")
+        assert pipe.direction == "both" and pipe.labels == ()
+
+    def test_incident_edges(self):
+        __, pipe = pipes_of("g.V.outE('x')")
+        assert isinstance(pipe, p.IncidentEdges) and pipe.direction == "out"
+
+    def test_edge_vertices(self):
+        __, pipe = pipes_of("g.E.inV")
+        assert isinstance(pipe, p.EdgeVertex) and pipe.direction == "in"
+
+    def test_property_shorthand(self):
+        __, pipe = pipes_of("g.V.name")
+        assert isinstance(pipe, p.PropertyGetter) and pipe.key == "name"
+
+    def test_property_call(self):
+        __, pipe = pipes_of("g.V.property('age')")
+        assert pipe.key == "age"
+
+    def test_id_label_path(self):
+        pipes = pipes_of("g.E.id")
+        assert isinstance(pipes[1], p.IdGetter)
+        pipes = pipes_of("g.E.label")
+        assert isinstance(pipes[1], p.LabelGetter)
+        pipes = pipes_of("g.V.out.path")
+        assert isinstance(pipes[2], p.PathPipe)
+
+
+class TestFilterPipes:
+    def test_has_forms(self):
+        __, exists = pipes_of("g.V.has('age')")
+        assert exists.exists_only
+        __, equal = pipes_of("g.V.has('age', 29)")
+        assert equal.op == "==" and equal.value == 29
+        __, compared = pipes_of("g.V.has('age', T.gt, 29)")
+        assert compared.op == ">" and compared.value == 29
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(GremlinSyntaxError):
+            parse_gremlin("g.V.has('age', T.weird, 29)")
+
+    def test_has_not(self):
+        __, pipe = pipes_of("g.V.hasNot('age')")
+        assert isinstance(pipe, p.HasNotPipe)
+
+    def test_interval(self):
+        __, pipe = pipes_of("g.V.interval('age', 10, 20)")
+        assert (pipe.low, pipe.high) == (10, 20)
+
+    def test_filter_closure(self):
+        __, pipe = pipes_of("g.V.filter{it.age > 29}")
+        assert isinstance(pipe.closure, cl.Compare)
+
+    def test_dedup_range(self):
+        pipes = pipes_of("g.V.dedup().range(0, 5)")
+        assert isinstance(pipes[1], p.DedupPipe)
+        assert (pipes[2].low, pipes[2].high) == (0, 5)
+
+    def test_except_retain_by_name(self):
+        __, pipe = pipes_of("g.V.except(x)")
+        assert pipe.name == "x"
+        __, pipe = pipes_of("g.V.retain('y')")
+        assert pipe.name == "y"
+
+    def test_except_by_list(self):
+        __, pipe = pipes_of("g.V.except([1, 2])")
+        assert pipe.values == (1, 2)
+
+    def test_simple_path(self):
+        pipes = pipes_of("g.V.out.simplePath")
+        assert isinstance(pipes[2], p.SimplePathPipe)
+
+    def test_and_or_branches(self):
+        __, pipe = pipes_of("g.V.and(_().out('a'), _().in('b'))")
+        assert isinstance(pipe, p.AndPipe) and len(pipe.branches) == 2
+        assert isinstance(pipe.branches[0][0], p.Adjacent)
+
+
+class TestBranchAndSideEffects:
+    def test_if_then_else(self):
+        __, pipe = pipes_of("g.V.ifThenElse{it.age > 1}{it.age}{0}")
+        assert isinstance(pipe, p.IfThenElsePipe)
+
+    def test_if_then_else_requires_three_closures(self):
+        with pytest.raises(GremlinSyntaxError):
+            parse_gremlin("g.V.ifThenElse{it.age > 1}{it.age}")
+
+    def test_copy_split_merge(self):
+        pipes = pipes_of("g.V.copySplit(_().out(), _().in()).exhaustMerge()")
+        assert isinstance(pipes[1], p.CopySplitPipe)
+        assert isinstance(pipes[2], p.MergePipe) and not pipes[2].fair
+
+    def test_loop(self):
+        pipes = pipes_of("g.V.out.loop(1){it.loops < 3}")
+        loop = pipes[2]
+        assert isinstance(loop, p.LoopPipe)
+        assert loop.back_steps == 1
+
+    def test_as_back_aggregate(self):
+        pipes = pipes_of("g.V.as('x').out.back('x').aggregate(acc)")
+        assert isinstance(pipes[1], p.AsPipe)
+        assert pipes[3].target == "x"
+        assert pipes[4].name == "acc"
+
+    def test_back_by_number(self):
+        pipes = pipes_of("g.V.out.back(1)")
+        assert pipes[2].target == 1
+
+    def test_side_effect_pipes_parse(self):
+        pipes = pipes_of("g.V.table(t).groupCount(m).iterate()")
+        assert isinstance(pipes[1], p.TablePipe)
+        assert isinstance(pipes[2], p.GroupCountPipe)
+        assert isinstance(pipes[3], p.IteratePipe)
+
+    def test_unsupported_pipe_rejected(self):
+        with pytest.raises(UnsupportedPipeError):
+            parse_gremlin("g.V.shuffle(1)")
+
+
+class TestClosureLanguage:
+    def closure(self, text):
+        return pipes_of(f"g.V.filter{{{text}}}")[1].closure
+
+    def test_comparison(self):
+        node = self.closure("it.age >= 21")
+        assert node.op == ">=" and node.right.value == 21
+
+    def test_boolean_combinators(self):
+        node = self.closure("it.a == 1 && (it.b == 2 || !it.c)")
+        assert isinstance(node, cl.BoolAnd)
+        assert isinstance(node.right, cl.BoolOr)
+
+    def test_arithmetic(self):
+        node = self.closure("it.age + 1 * 2 == 31")
+        assert isinstance(node.left, cl.Arith) and node.left.op == "+"
+
+    def test_string_methods(self):
+        node = self.closure("it.name.contains('ar')")
+        assert isinstance(node, cl.StringMethod)
+        node = self.closure("it.name.startsWith('m')")
+        assert node.method == "startsWith"
+
+    def test_null_literal(self):
+        node = self.closure("it.age != null")
+        assert node.right.value is None
+
+    def test_bare_it(self):
+        node = self.closure("it == 5")
+        assert isinstance(node.left, cl.ItRef)
+
+    def test_loops_counter(self):
+        node = self.closure("it.loops < 3")
+        assert node.left.name == "loops"
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(UnsupportedPipeError):
+            self.closure("x == 1")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(UnsupportedPipeError):
+            self.closure("it.name.toUpperCase() == 'X'")
+
+    def test_nested_property_access_rejected(self):
+        with pytest.raises(UnsupportedPipeError):
+            self.closure("it.friend.name == 'x'")

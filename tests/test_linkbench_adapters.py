@@ -1,0 +1,116 @@
+"""Tests for the LinkBench operation adapters against every store."""
+
+import pytest
+
+from repro.baselines import KVGraphStore, NativeGraphStore
+from repro.core import SQLGraphStore
+from repro.datasets import linkbench
+
+
+def make_data():
+    return linkbench.build_graph(linkbench.LinkBenchConfig(nodes=120, seed=2))
+
+
+def make_adapter(kind, data):
+    if kind == "sqlgraph":
+        store = SQLGraphStore()
+        store.load_graph(data.graph)
+        return linkbench.SQLGraphLinkBench(store), store
+    if kind == "native":
+        store = NativeGraphStore()
+        store.load_graph(data.graph.copy())
+        return linkbench.BlueprintsLinkBench(store), store
+    store = KVGraphStore()
+    store.load_graph(data.graph)
+    return linkbench.BlueprintsLinkBench(store), store
+
+
+@pytest.fixture(params=["sqlgraph", "native", "kv"])
+def adapter_and_store(request):
+    data = make_data()
+    adapter, store = make_adapter(request.param, data)
+    return data, adapter, store
+
+
+class TestOperations:
+    def test_add_node_visible(self, adapter_and_store):
+        __, adapter, store = adapter_and_store
+        adapter.execute(
+            ("add_node", {"id": 7777, "properties": {"type": "user",
+                                                     "version": 1,
+                                                     "time": 0,
+                                                     "data": "zz"}})
+        )
+        assert store.get_vertex(7777) is not None
+
+    def test_update_node(self, adapter_and_store):
+        __, adapter, store = adapter_and_store
+        adapter.execute(("update_node", {"id": 5, "key": "data", "value": "Q"}))
+        assert store.get_vertex(5).get_property("data") == "Q"
+
+    def test_delete_node(self, adapter_and_store):
+        __, adapter, store = adapter_and_store
+        adapter.execute(("delete_node", {"id": 9}))
+        assert store.get_vertex(9) is None
+
+    def test_get_node_missing_is_ok(self, adapter_and_store):
+        __, adapter, __store = adapter_and_store
+        adapter.execute(("get_node", {"id": 424242}))
+
+    def test_add_and_delete_link(self, adapter_and_store):
+        __, adapter, store = adapter_and_store
+        adapter.execute(
+            ("add_link", {"id": 8888, "src": 1, "dst": 2, "type": "friend",
+                          "properties": {"visibility": 1, "timestamp": 0,
+                                         "data": "x"}})
+        )
+        assert store.get_edge(8888) is not None
+        adapter.execute(("delete_link", {"id": 8888}))
+        assert store.get_edge(8888) is None
+
+    def test_update_link(self, adapter_and_store):
+        data, adapter, store = adapter_and_store
+        edge_id = data.edge_ids[0]
+        adapter.execute(
+            ("update_link", {"id": edge_id, "key": "data", "value": "new"})
+        )
+        assert store.get_edge(edge_id).get_property("data") == "new"
+
+    def test_count_and_list_links(self, adapter_and_store):
+        __, adapter, __store = adapter_and_store
+        adapter.execute(("count_link", {"id": 1, "type": "friend"}))
+        adapter.execute(("get_link_list", {"id": 1, "type": "friend"}))
+
+    def test_multiget_link(self, adapter_and_store):
+        data, adapter, __store = adapter_and_store
+        adapter.execute(("multiget_link", {"ids": data.edge_ids[:3]}))
+
+    def test_mixed_stream_executes(self, adapter_and_store):
+        data, adapter, __store = adapter_and_store
+        generator = linkbench.RequestGenerator(data, seed=9)
+        for __ in range(300):
+            adapter.execute(next(generator))
+
+
+class TestCrossStoreAgreement:
+    def test_link_list_counts_agree(self):
+        data = make_data()
+        sql_adapter, sql_store = make_adapter("sqlgraph", data)
+        __, native_store = make_adapter("native", data)
+        for node in data.node_ids[:20]:
+            for assoc in linkbench.ASSOC_TYPES:
+                sql_count = sql_store.run(
+                    f"g.v({node}).outE('{assoc}').count()"
+                )[0]
+                native_count = len(
+                    list(
+                        native_store.graph.get_vertex(node).edges(
+                            __import__(
+                                "repro.graph.blueprints",
+                                fromlist=["Direction"],
+                            ).Direction.OUT,
+                            (assoc,),
+                        )
+                    )
+                )
+                assert sql_count == native_count

@@ -1,0 +1,205 @@
+"""Direct unit tests for physical operators (below the SQL surface)."""
+
+from repro.relational import operators as op
+
+
+def mat(rows, names, qualifier=None):
+    return op.MaterializedScan(rows, [(qualifier, n) for n in names])
+
+
+def col(position):
+    return lambda row: row[position]
+
+
+class TestHashJoin:
+    def test_inner_matches(self):
+        left = mat([(1, "a"), (2, "b"), (3, "c")], ["k", "v"])
+        right = mat([(2, "x"), (3, "y"), (3, "z")], ["k", "w"])
+        join = op.HashJoinOp(left, right, [col(0)], [col(0)])
+        assert sorted(join.rows()) == [
+            (2, "b", 2, "x"), (3, "c", 3, "y"), (3, "c", 3, "z"),
+        ]
+
+    def test_null_keys_never_join(self):
+        left = mat([(None, "a")], ["k", "v"])
+        right = mat([(None, "x")], ["k", "w"])
+        join = op.HashJoinOp(left, right, [col(0)], [col(0)])
+        assert list(join.rows()) == []
+
+    def test_left_outer_pads(self):
+        left = mat([(1,), (9,)], ["k"])
+        right = mat([(1, "x")], ["k", "w"])
+        join = op.HashJoinOp(left, right, [col(0)], [col(0)], kind="left")
+        assert sorted(join.rows(), key=repr) == [
+            (1, 1, "x"), (9, None, None),
+        ]
+
+    def test_residual_filters_matches(self):
+        left = mat([(1, 5)], ["k", "v"])
+        right = mat([(1, 3), (1, 9)], ["k", "w"])
+        join = op.HashJoinOp(
+            left, right, [col(0)], [col(0)],
+            residual=lambda row: row[3] > row[1],
+        )
+        assert list(join.rows()) == [(1, 5, 1, 9)]
+
+    def test_unhashable_key_values_normalized(self):
+        left = mat([([1, 2], "a")], ["k", "v"])
+        right = mat([([1, 2], "x")], ["k", "w"])
+        join = op.HashJoinOp(left, right, [col(0)], [col(0)])
+        assert len(list(join.rows())) == 1
+
+
+class TestNestedLoopJoin:
+    def test_theta_join(self):
+        left = mat([(1,), (5,)], ["a"])
+        right = mat([(3,), (7,)], ["b"])
+        join = op.NestedLoopJoinOp(
+            left, right, condition=lambda row: row[0] < row[1]
+        )
+        assert sorted(join.rows()) == [(1, 3), (1, 7), (5, 7)]
+
+    def test_left_outer_theta(self):
+        left = mat([(9,)], ["a"])
+        right = mat([(3,)], ["b"])
+        join = op.NestedLoopJoinOp(
+            left, right, condition=lambda row: row[0] < row[1], kind="left"
+        )
+        assert list(join.rows()) == [(9, None)]
+
+
+class TestLateralUnnest:
+    def test_emits_per_values_row(self):
+        child = mat([(1, 2), (3, 4)], ["a", "b"])
+        unnest = op.LateralUnnestOp(
+            child, [[col(0)], [col(1)]], [("t", "val")]
+        )
+        assert list(unnest.rows()) == [
+            (1, 2, 1), (1, 2, 2), (3, 4, 3), (3, 4, 4),
+        ]
+
+    def test_multi_column_rows(self):
+        child = mat([(1, "x")], ["a", "s"])
+        unnest = op.LateralUnnestOp(
+            child, [[col(1), col(0)]], [("t", "l"), ("t", "v")]
+        )
+        assert list(unnest.rows()) == [(1, "x", "x", 1)]
+
+
+class TestSetOps:
+    def left_right(self):
+        left = mat([(1,), (2,), (2,), (3,)], ["a"])
+        right = mat([(2,), (4,)], ["a"])
+        return left, right
+
+    def test_union_dedups(self):
+        left, right = self.left_right()
+        assert sorted(op.SetOpOp("union", left, right).rows()) == [
+            (1,), (2,), (3,), (4,),
+        ]
+
+    def test_intersect(self):
+        left, right = self.left_right()
+        assert list(op.SetOpOp("intersect", left, right).rows()) == [(2,)]
+
+    def test_except(self):
+        left, right = self.left_right()
+        assert sorted(op.SetOpOp("except", left, right).rows()) == [(1,), (3,)]
+
+    def test_union_all_flattens(self):
+        left, right = self.left_right()
+        union = op.UnionAllOp([left, right])
+        assert len(list(union.rows())) == 6
+
+    def test_distinct_on_unhashable(self):
+        child = mat([([1],), ([1],), ([2],)], ["a"])
+        assert len(list(op.DistinctOp(child).rows())) == 2
+
+
+class TestAggregate:
+    def test_grouped(self):
+        child = mat([("x", 1), ("x", 3), ("y", 5)], ["g", "v"])
+        agg = op.AggregateOp(
+            child, [col(0)],
+            [("count_star", None, False), ("sum", col(1), False),
+             ("min", col(1), False), ("max", col(1), False),
+             ("avg", col(1), False)],
+            [(None, "g"), (None, "c"), (None, "s"), (None, "mn"),
+             (None, "mx"), (None, "av")],
+        )
+        assert sorted(agg.rows()) == [
+            ("x", 2, 4, 1, 3, 2.0), ("y", 1, 5, 5, 5, 5.0),
+        ]
+
+    def test_global_empty_input(self):
+        child = mat([], ["v"])
+        agg = op.AggregateOp(
+            child, [], [("count_star", None, False), ("sum", col(0), False)],
+            [(None, "c"), (None, "s")],
+        )
+        assert list(agg.rows()) == [(0, None)]
+
+    def test_distinct_aggregate(self):
+        child = mat([(1,), (1,), (2,)], ["v"])
+        agg = op.AggregateOp(
+            child, [], [("count", col(0), True)], [(None, "c")]
+        )
+        assert list(agg.rows()) == [(2,)]
+
+    def test_aggregates_skip_nulls(self):
+        child = mat([(1,), (None,), (3,)], ["v"])
+        agg = op.AggregateOp(
+            child, [],
+            [("count", col(0), False), ("avg", col(0), False)],
+            [(None, "c"), (None, "a")],
+        )
+        assert list(agg.rows()) == [(2, 2.0)]
+
+
+class TestSortLimit:
+    def test_multi_key_sort(self):
+        child = mat([(2, "b"), (1, "z"), (2, "a")], ["n", "s"])
+        sort = op.SortOp(child, [col(0), col(1)], [False, True])
+        assert list(sort.rows()) == [(1, "z"), (2, "b"), (2, "a")]
+
+    def test_sort_with_nulls(self):
+        child = mat([(2,), (None,), (1,)], ["n"])
+        sort = op.SortOp(child, [col(0)], [False])
+        assert list(sort.rows()) == [(None,), (1,), (2,)]
+
+    def test_limit_offset(self):
+        child = mat([(i,) for i in range(10)], ["n"])
+        limited = op.LimitOp(child, limit=3, offset=2)
+        assert list(limited.rows()) == [(2,), (3,), (4,)]
+
+    def test_offset_only(self):
+        child = mat([(i,) for i in range(4)], ["n"])
+        assert list(op.LimitOp(child, None, 3).rows()) == [(3,)]
+
+
+class TestResolver:
+    def test_qualified_and_bare(self):
+        resolver = op.make_resolver([("t", "a"), ("u", "b")])
+        assert resolver("t", "a") == 0
+        assert resolver(None, "b") == 1
+
+    def test_ambiguity(self):
+        import pytest
+
+        from repro.relational.errors import BindError
+
+        resolver = op.make_resolver([("t", "a"), ("u", "a")])
+        assert resolver("u", "a") == 1
+        with pytest.raises(BindError):
+            resolver(None, "a")
+
+
+class TestExplainPlan:
+    def test_tree_rendering(self):
+        child = mat([(1,)], ["a"])
+        plan = op.LimitOp(op.DistinctOp(child), 1)
+        text = op.explain_plan(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("LimitOp")
+        assert lines[1].strip().startswith("DistinctOp")
+        assert lines[2].strip().startswith("MaterializedScan")

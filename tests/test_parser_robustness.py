@@ -1,0 +1,85 @@
+"""Fuzz-style robustness: malformed inputs must raise the proper error
+types (never KeyError/AttributeError/... from parser internals)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gremlin.errors import GremlinError
+from repro.gremlin.parser import parse_gremlin
+from repro.relational.errors import EngineError
+from repro.relational.sql.parser import parse_statement
+
+SQL_FRAGMENTS = [
+    "SELECT", "FROM", "WHERE", "GROUP BY", "ORDER", "t", "a", ",", "(", ")",
+    "*", "=", "1", "'x'", "AND", "JOIN", "ON", "WITH", "AS", "UNION",
+    "LIMIT", "?", "||", "IN", "NULL", "CASE", "WHEN", "END", "COUNT",
+]
+
+GREMLIN_FRAGMENTS = [
+    "g", ".", "V", "out", "(", ")", "'knows'", "{", "}", "it", "==", "1",
+    "filter", "has", "loop", "_", ",", "&&", "T.gt", "[", "]", "count",
+]
+
+
+class TestSqlRobustness:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_token_soup(self, seed):
+        rng = random.Random(seed)
+        text = " ".join(
+            rng.choice(SQL_FRAGMENTS) for __ in range(rng.randrange(1, 15))
+        )
+        try:
+            parse_statement(text)
+        except EngineError:
+            pass  # the only acceptable failure mode
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_text(self, text):
+        try:
+            parse_statement(text)
+        except EngineError:
+            pass
+
+    def test_deeply_nested_parens(self):
+        text = "SELECT " + "(" * 40 + "1" + ")" * 40
+        parse_statement(text)
+
+    def test_truncated_statements(self):
+        full = "SELECT a, b FROM t WHERE a = 1 GROUP BY b ORDER BY a LIMIT 2"
+        for cut in range(1, len(full)):
+            try:
+                parse_statement(full[:cut])
+            except EngineError:
+                pass
+
+
+class TestGremlinRobustness:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_token_soup(self, seed):
+        rng = random.Random(seed)
+        text = "g." + "".join(
+            rng.choice(GREMLIN_FRAGMENTS) for __ in range(rng.randrange(1, 12))
+        )
+        try:
+            parse_gremlin(text)
+        except GremlinError:
+            pass
+
+    @given(st.text(max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_text(self, text):
+        try:
+            parse_gremlin(text)
+        except GremlinError:
+            pass
+
+    def test_truncated_pipelines(self):
+        full = "g.V.has('age', T.gt, 29).out('knows').filter{it.a == 1}.count()"
+        for cut in range(1, len(full)):
+            try:
+                parse_gremlin(full[:cut])
+            except GremlinError:
+                pass

@@ -1,0 +1,234 @@
+"""Tests for the expression language: 3VL, LIKE, JSON, functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational import expressions as ex
+from repro.relational.errors import BindError
+from repro.relational.schema import ColumnType
+
+
+def const_ctx():
+    def resolver(qualifier, name):
+        raise BindError("no columns")
+
+    return ex.CompileContext(resolver, ex.default_functions())
+
+
+def evaluate(expression):
+    return expression.compile(const_ctx())(None)
+
+
+def lit(value):
+    return ex.Literal(value)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert evaluate(ex.Comparison("=", lit(3), lit(3))) is True
+        assert evaluate(ex.Comparison("=", lit(3), lit(4))) is False
+
+    def test_numeric_cross_type_equality(self):
+        assert evaluate(ex.Comparison("=", lit(3), lit(3.0))) is True
+
+    def test_string_int_not_equal(self):
+        assert evaluate(ex.Comparison("=", lit("3"), lit(3))) is False
+
+    def test_null_propagates(self):
+        assert evaluate(ex.Comparison("=", lit(None), lit(3))) is None
+        assert evaluate(ex.Comparison("<", lit(None), lit(None))) is None
+
+    def test_ordering(self):
+        assert evaluate(ex.Comparison("<", lit(3), lit(4))) is True
+        assert evaluate(ex.Comparison(">=", lit("b"), lit("a"))) is True
+
+    def test_not_equal_normalization(self):
+        node = ex.Comparison("!=", lit(1), lit(2))
+        assert node.op == "<>"
+        assert evaluate(node) is True
+
+
+class TestBooleanLogic:
+    def test_and_kleene(self):
+        assert evaluate(ex.And([lit(True), lit(None)])) is None
+        assert evaluate(ex.And([lit(False), lit(None)])) is False
+        assert evaluate(ex.And([lit(True), lit(True)])) is True
+
+    def test_or_kleene(self):
+        assert evaluate(ex.Or([lit(False), lit(None)])) is None
+        assert evaluate(ex.Or([lit(True), lit(None)])) is True
+        assert evaluate(ex.Or([lit(False), lit(False)])) is False
+
+    def test_not(self):
+        assert evaluate(ex.Not(lit(True))) is False
+        assert evaluate(ex.Not(lit(None))) is None
+
+    def test_is_null(self):
+        assert evaluate(ex.IsNull(lit(None))) is True
+        assert evaluate(ex.IsNull(lit(3), negated=True)) is True
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert evaluate(ex.BinaryOp("+", lit(2), lit(3))) == 5
+        assert evaluate(ex.BinaryOp("*", lit(2.5), lit(2))) == 5.0
+        assert evaluate(ex.BinaryOp("%", lit(7), lit(3))) == 1
+
+    def test_integer_division_stays_integral(self):
+        assert evaluate(ex.BinaryOp("/", lit(6), lit(3))) == 2
+        assert evaluate(ex.BinaryOp("/", lit(7), lit(2))) == 3.5
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate(ex.BinaryOp("/", lit(1), lit(0))) is None
+        assert evaluate(ex.BinaryOp("%", lit(1), lit(0))) is None
+
+    def test_null_propagates(self):
+        assert evaluate(ex.BinaryOp("+", lit(None), lit(3))) is None
+
+    def test_concat_strings(self):
+        assert evaluate(ex.BinaryOp("||", lit("a"), lit("b"))) == "ab"
+
+    def test_concat_appends_to_tuple(self):
+        assert evaluate(ex.BinaryOp("||", lit((1, 2)), lit(3))) == (1, 2, 3)
+
+
+class TestLike:
+    def cases(self):
+        return [
+            ("abc", "abc", True),
+            ("abc", "a%", True),
+            ("abc", "%c", True),
+            ("abc", "a_c", True),
+            ("abc", "a_d", False),
+            ("a.c", "a.c", True),
+            ("axc", "a.c", False),  # dot is literal, not regex
+            ("", "%", True),
+        ]
+
+    def test_patterns(self):
+        for value, pattern, expected in self.cases():
+            node = ex.Like(lit(value), lit(pattern))
+            assert evaluate(node) is expected, (value, pattern)
+
+    def test_negated(self):
+        assert evaluate(ex.Like(lit("abc"), lit("z%"), negated=True)) is True
+
+    def test_null(self):
+        assert evaluate(ex.Like(lit(None), lit("a%"))) is None
+
+
+class TestInList:
+    def test_membership(self):
+        node = ex.InList(lit(2), [lit(1), lit(2)])
+        assert evaluate(node) is True
+
+    def test_not_in_with_null_is_unknown(self):
+        node = ex.InList(lit(3), [lit(1), lit(None)])
+        assert evaluate(node) is None
+
+    def test_negated(self):
+        node = ex.InList(lit(3), [lit(1), lit(2)], negated=True)
+        assert evaluate(node) is True
+
+
+class TestFunctions:
+    def test_coalesce(self):
+        node = ex.FuncCall("coalesce", [lit(None), lit(None), lit(7)])
+        assert evaluate(node) == 7
+
+    def test_coalesce_all_null(self):
+        assert evaluate(ex.FuncCall("coalesce", [lit(None)])) is None
+
+    def test_json_val(self):
+        doc = {"a": {"b": [10, 20]}, "x": 5}
+        assert ex.json_val(doc, "x") == 5
+        assert ex.json_val(doc, "a.b.1") == 20
+        assert ex.json_val(doc, "missing") is None
+        assert ex.json_val(doc, "x.deeper") is None
+        assert ex.json_val(None, "x") is None
+
+    def test_string_functions(self):
+        functions = ex.default_functions()
+        assert functions["upper"]("abc") == "ABC"
+        assert functions["length"]("abcd") == 4
+        assert functions["substr"]("hello", 2, 3) == "ell"
+
+    def test_path_helpers(self):
+        functions = ex.default_functions()
+        assert functions["path_init"](5) == (5,)
+        assert functions["element_at"]((1, 2, 3), 1) == 2
+        assert functions["element_at"]((1,), 9) is None
+        assert functions["path_prefix"]((1, 2, 3), 1) == (1, 2)
+        assert functions["issimplepath"]((1, 2, 3)) == 1
+        assert functions["issimplepath"]((1, 2, 1)) == 0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(BindError):
+            ex.FuncCall("nosuch", []).compile(const_ctx())
+
+    def test_cast(self):
+        assert evaluate(ex.Cast(lit("12"), ColumnType.INTEGER)) == 12
+        assert evaluate(ex.Cast(lit("x"), ColumnType.INTEGER)) is None
+
+
+class TestCase:
+    def test_case_branches(self):
+        node = ex.CaseWhen(
+            [(lit(False), lit(1)), (lit(True), lit(2))], otherwise=lit(3)
+        )
+        assert evaluate(node) == 2
+
+    def test_case_default(self):
+        node = ex.CaseWhen([(lit(False), lit(1))], otherwise=lit(3))
+        assert evaluate(node) == 3
+
+    def test_case_no_default_is_null(self):
+        node = ex.CaseWhen([(lit(False), lit(1))])
+        assert evaluate(node) is None
+
+
+class TestColumnsAndParams:
+    def test_column_resolution(self):
+        ctx = ex.CompileContext(lambda q, n: {"a": 0, "b": 1}[n], {})
+        fn = ex.ColumnRef(None, "b").compile(ctx)
+        assert fn((10, 20)) == 20
+
+    def test_parameter_substitution(self):
+        node = ex.Comparison("=", ex.ColumnRef(None, "a"), ex.Parameter(0))
+        fixed = ex.substitute_parameters(node, [42])
+        assert isinstance(fixed.right, ex.Literal)
+        assert fixed.right.value == 42
+
+    def test_missing_parameter_raises(self):
+        node = ex.Parameter(1)
+        with pytest.raises(BindError):
+            ex.substitute_parameters(node, [1])
+
+    def test_references(self):
+        node = ex.And(
+            [
+                ex.Comparison("=", ex.ColumnRef("t", "a"), lit(1)),
+                ex.IsNull(ex.ColumnRef(None, "b")),
+            ]
+        )
+        assert node.references() == {("t", "a"), (None, "b")}
+
+
+class TestFingerprints:
+    def test_column_fingerprint_is_qualifier_free(self):
+        assert ex.ColumnRef("t", "a").fingerprint() == ex.ColumnRef(
+            None, "a"
+        ).fingerprint()
+
+    def test_func_fingerprint(self):
+        node = ex.FuncCall("json_val", [ex.ColumnRef("p", "attr"), lit("k")])
+        assert node.fingerprint() == "json_val(col(attr),'k')"
+
+
+@given(st.one_of(st.none(), st.integers(), st.floats(allow_nan=False), st.text()),
+       st.one_of(st.none(), st.integers(), st.floats(allow_nan=False), st.text()))
+def test_compare_values_total(left, right):
+    """compare_values never raises and returns bool/None for any op."""
+    for op in ("=", "<>", "<", "<=", ">", ">="):
+        result = ex.compare_values(op, left, right)
+        assert result is None or isinstance(result, bool)

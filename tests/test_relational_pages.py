@@ -1,0 +1,89 @@
+"""Tests for paged storage and the LRU buffer pool."""
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.pages import PAGE_CAPACITY, BufferPool
+
+
+def build_table(database, rows):
+    database.execute("CREATE TABLE t (x INTEGER)")
+    table = database.table("t")
+    for i in range(rows):
+        table.insert((i,))
+    return table
+
+
+class TestBufferPool:
+    def test_unbounded_pool_never_evicts(self):
+        database = Database()
+        build_table(database, PAGE_CAPACITY * 5)
+        assert database.buffer_pool.evictions == 0
+
+    def test_bounded_pool_evicts(self):
+        database = Database(buffer_pool_pages=2)
+        build_table(database, PAGE_CAPACITY * 5)
+        assert database.buffer_pool.evictions > 0
+        assert len(database.buffer_pool) <= 2
+
+    def test_data_survives_eviction(self):
+        database = Database(buffer_pool_pages=1)
+        rows = PAGE_CAPACITY * 3 + 17
+        build_table(database, rows)
+        result = database.execute("SELECT COUNT(*), SUM(x) FROM t")
+        assert result.rows == [(rows, rows * (rows - 1) // 2)]
+
+    def test_hit_miss_accounting(self):
+        database = Database(buffer_pool_pages=1)
+        build_table(database, PAGE_CAPACITY * 3)
+        database.buffer_pool.reset_counters()
+        database.execute("SELECT COUNT(*) FROM t")
+        # with a one-page pool every page fetch of the scan is a miss
+        assert database.buffer_pool.misses >= 3
+
+    def test_warm_scan_hits(self):
+        database = Database()
+        build_table(database, PAGE_CAPACITY * 2)
+        database.execute("SELECT COUNT(*) FROM t")
+        database.buffer_pool.reset_counters()
+        database.execute("SELECT COUNT(*) FROM t")
+        assert database.buffer_pool.misses == 0
+        assert database.buffer_pool.hits >= 2
+
+    def test_resize_shrinks(self):
+        database = Database()
+        build_table(database, PAGE_CAPACITY * 6)
+        assert len(database.buffer_pool) == 6
+        database.buffer_pool.resize(2)
+        assert len(database.buffer_pool) <= 2
+        result = database.execute("SELECT COUNT(*) FROM t")
+        assert result.scalar() == PAGE_CAPACITY * 6
+
+    def test_clear_writes_back(self):
+        database = Database()
+        table = build_table(database, PAGE_CAPACITY + 1)
+        database.buffer_pool.clear()
+        assert len(database.buffer_pool) == 0
+        assert table.storage_bytes() > 0
+        assert database.execute("SELECT COUNT(*) FROM t").scalar() == (
+            PAGE_CAPACITY + 1
+        )
+
+    def test_updates_survive_eviction_cycles(self):
+        database = Database(buffer_pool_pages=1)
+        table = build_table(database, PAGE_CAPACITY * 2)
+        database.execute("UPDATE t SET x = 999 WHERE x = 0")
+        database.buffer_pool.clear()
+        result = database.execute("SELECT COUNT(*) FROM t WHERE x = 999")
+        assert result.scalar() == 1
+        assert table.live_rows == PAGE_CAPACITY * 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_drop_table_discards_pages(self):
+        database = Database()
+        build_table(database, PAGE_CAPACITY)
+        database.execute("DROP TABLE t")
+        assert len(database.buffer_pool) == 0

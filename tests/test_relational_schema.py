@@ -1,0 +1,103 @@
+"""Tests for column types, coercion and table schemas."""
+
+import pytest
+
+from repro.relational.errors import BindError, TypeMismatchError
+from repro.relational.schema import Column, ColumnType, TableSchema, coerce_value
+
+
+class TestColumnType:
+    def test_from_name_aliases(self):
+        assert ColumnType.from_name("int") is ColumnType.INTEGER
+        assert ColumnType.from_name("BIGINT") is ColumnType.INTEGER
+        assert ColumnType.from_name("varchar") is ColumnType.STRING
+        assert ColumnType.from_name("Text") is ColumnType.STRING
+        assert ColumnType.from_name("REAL") is ColumnType.DOUBLE
+        assert ColumnType.from_name("bool") is ColumnType.BOOLEAN
+        assert ColumnType.from_name("json") is ColumnType.JSON
+        assert ColumnType.from_name("any") is ColumnType.ANY
+
+    def test_from_name_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.from_name("blob9")
+
+
+class TestCoerceValue:
+    def test_none_passes_through(self):
+        for column_type in ColumnType:
+            assert coerce_value(None, column_type) is None
+
+    def test_integer_coercions(self):
+        assert coerce_value(5, ColumnType.INTEGER) == 5
+        assert coerce_value(5.0, ColumnType.INTEGER) == 5
+        assert coerce_value("7", ColumnType.INTEGER) == 7
+        assert coerce_value(True, ColumnType.INTEGER) == 1
+
+    def test_integer_rejects_fractional(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5.5, ColumnType.INTEGER)
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("five", ColumnType.INTEGER)
+
+    def test_double_coercions(self):
+        assert coerce_value(5, ColumnType.DOUBLE) == 5
+        assert coerce_value("2.5", ColumnType.DOUBLE) == 2.5
+
+    def test_string_coercions(self):
+        assert coerce_value(5, ColumnType.STRING) == "5"
+        assert coerce_value("x", ColumnType.STRING) == "x"
+
+    def test_boolean_coercions(self):
+        assert coerce_value(1, ColumnType.BOOLEAN) is True
+        assert coerce_value(0, ColumnType.BOOLEAN) is False
+
+    def test_json_any_pass_through(self):
+        payload = {"a": [1, 2]}
+        assert coerce_value(payload, ColumnType.JSON) is payload
+        assert coerce_value(payload, ColumnType.ANY) is payload
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema(
+            "T",
+            [Column("id", ColumnType.INTEGER), Column("name", ColumnType.STRING)],
+            primary_key="id",
+        )
+
+    def test_names_lowercased(self):
+        schema = self.make()
+        assert schema.name == "t"
+        assert schema.column_names == ["id", "name"]
+
+    def test_position_case_insensitive(self):
+        schema = self.make()
+        assert schema.position("ID") == 0
+        assert schema.position("Name") == 1
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(BindError):
+            self.make().position("missing")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(BindError):
+            TableSchema("t", [Column("a"), Column("A")])
+
+    def test_bad_primary_key_rejected(self):
+        with pytest.raises(BindError):
+            TableSchema("t", [Column("a")], primary_key="b")
+
+    def test_coerce_row(self):
+        schema = self.make()
+        assert schema.coerce_row(["3", 7]) == (3, "7")
+
+    def test_coerce_row_arity_check(self):
+        with pytest.raises(BindError):
+            self.make().coerce_row([1])
+
+    def test_has_column(self):
+        schema = self.make()
+        assert schema.has_column("NAME")
+        assert not schema.has_column("other")

@@ -1,0 +1,138 @@
+"""Tests for heap tables: CRUD, tombstones, index maintenance."""
+
+import pytest
+
+from repro.relational.errors import CatalogError
+from repro.relational.index import HashIndex, column_key_function
+from repro.relational.pages import BufferPool
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import HeapTable
+
+
+def make_table():
+    schema = TableSchema(
+        "t", [Column("a", ColumnType.INTEGER), Column("b", ColumnType.STRING)]
+    )
+    return HeapTable(schema, BufferPool())
+
+
+class TestHeapTable:
+    def test_insert_returns_rid_and_get(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        assert table.get(rid) == (1, "x")
+        assert table.live_rows == 1
+
+    def test_insert_coerces(self):
+        table = make_table()
+        rid = table.insert(("5", 7))
+        assert table.get(rid) == (5, "7")
+
+    def test_delete_tombstones(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        old = table.delete(rid)
+        assert old == (1, "x")
+        assert table.get(rid) is None
+        assert table.live_rows == 0
+
+    def test_double_delete_is_noop(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        table.delete(rid)
+        assert table.delete(rid) is None
+        assert table.live_rows == 0
+
+    def test_update(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        old = table.update(rid, (2, "y"))
+        assert old == (1, "x")
+        assert table.get(rid) == (2, "y")
+
+    def test_update_deleted_row_is_noop(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        table.delete(rid)
+        assert table.update(rid, (2, "y")) is None
+
+    def test_restore_undoes_delete(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        table.delete(rid)
+        table.restore(rid, (1, "x"))
+        assert table.get(rid) == (1, "x")
+        assert table.live_rows == 1
+
+    def test_scan_skips_tombstones(self):
+        table = make_table()
+        rids = [table.insert((i, str(i))) for i in range(5)]
+        table.delete(rids[2])
+        values = [row[0] for row in table.scan_rows()]
+        assert values == [0, 1, 3, 4]
+
+    def test_scan_yields_rids(self):
+        table = make_table()
+        rid = table.insert((1, "x"))
+        assert list(table.scan()) == [(rid, (1, "x"))]
+
+
+class TestIndexMaintenance:
+    def attach(self, table):
+        index = HashIndex("ix_a", "t", column_key_function(0), "col(a)")
+        table.attach_index(index)
+        return index
+
+    def test_populate_existing_rows(self):
+        table = make_table()
+        rid = table.insert((7, "x"))
+        index = self.attach(table)
+        assert list(index.lookup(7)) == [rid]
+
+    def test_insert_maintains(self):
+        table = make_table()
+        index = self.attach(table)
+        rid = table.insert((7, "x"))
+        assert list(index.lookup(7)) == [rid]
+
+    def test_delete_maintains(self):
+        table = make_table()
+        index = self.attach(table)
+        rid = table.insert((7, "x"))
+        table.delete(rid)
+        assert index.lookup(7) == ()
+
+    def test_update_maintains(self):
+        table = make_table()
+        index = self.attach(table)
+        rid = table.insert((7, "x"))
+        table.update(rid, (9, "x"))
+        assert index.lookup(7) == ()
+        assert list(index.lookup(9)) == [rid]
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        self.attach(table)
+        with pytest.raises(CatalogError):
+            self.attach(table)
+
+    def test_find_index_by_fingerprint(self):
+        table = make_table()
+        index = self.attach(table)
+        assert table.find_index("col(a)") is index
+        assert table.find_index("col(b)") is None
+
+    def test_failed_unique_insert_rolls_back_other_indexes(self):
+        table = make_table()
+        plain = HashIndex("ix_b", "t", column_key_function(1), "col(b)")
+        unique = HashIndex(
+            "ix_a", "t", column_key_function(0), "col(a)", unique=True
+        )
+        table.attach_index(plain)
+        table.attach_index(unique)
+        table.insert((1, "x"))
+        with pytest.raises(Exception):
+            table.insert((1, "y"))
+        # the non-unique index must not keep a phantom entry for "y"
+        assert plain.lookup("y") == ()
+        assert table.live_rows == 1

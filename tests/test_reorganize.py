@@ -1,0 +1,76 @@
+"""Tests for schema reorganization after update-driven drift (paper §3.4)."""
+
+from repro.core import SQLGraphStore
+from repro.datasets.tinker import paper_figure_graph
+
+
+def drifted_store():
+    """Load a small graph, then add many edges with labels unknown to the
+    coloring — the fallback hash conflicts and spill rows accumulate."""
+    store = SQLGraphStore()
+    store.load_graph(paper_figure_graph())
+    for i, label in enumerate(
+        ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+    ):
+        store.add_edge(1, 2, label, 200 + i)
+        store.add_edge(4, 3, label, 300 + i)
+    return store
+
+
+class TestReorganize:
+    def test_drift_creates_spills(self):
+        store = drifted_store()
+        spills = store.database.execute(
+            "SELECT COUNT(*) FROM opa WHERE spill = 1"
+        ).scalar()
+        assert spills > 0
+
+    def test_reorganize_removes_spills(self):
+        store = drifted_store()
+        report = store.reorganize()
+        spills = store.database.execute(
+            f"SELECT COUNT(*) FROM {store.schema.table_names['opa']} "
+            "WHERE spill = 1"
+        ).scalar()
+        assert spills == 0
+        assert report.out.spill_rows == 0
+        # the new coloring has room for the new labels
+        assert report.out.hashed_labels >= 9
+
+    def test_reorganize_preserves_data(self):
+        store = drifted_store()
+        before_counts = (store.vertex_count(), store.edge_count())
+        before_neighbors = sorted(store.run("g.v(1).out"))
+        store.reorganize()
+        assert (store.vertex_count(), store.edge_count()) == before_counts
+        assert sorted(store.run("g.v(1).out")) == before_neighbors
+        assert sorted(store.run("g.v(1).out('alpha')")) == [2]
+        assert store.run("g.V.has('name','marko')") == [1]
+
+    def test_reorganize_preserves_attribute_indexes(self):
+        store = drifted_store()
+        store.create_attribute_index("vertex", "name")
+        store.reorganize()
+        index = store.database.table(
+            store.schema.table_names["va"]
+        ).find_index("json_val(col(attr),'name')")
+        assert index is not None
+        assert store.run("g.V('name','josh')") == [4]
+
+    def test_reorganize_drops_tombstones(self):
+        store = drifted_store()
+        store.remove_vertex(2)
+        store.reorganize()
+        negatives = store.database.execute(
+            f"SELECT COUNT(*) FROM {store.schema.table_names['va']} "
+            "WHERE vid < 0"
+        ).scalar()
+        assert negatives == 0  # reorganization doubles as offline cleanup
+        assert store.get_vertex(2) is None
+
+    def test_crud_still_works_after_reorganize(self):
+        store = drifted_store()
+        store.reorganize()
+        vid = store.add_vertex(properties={"name": "post-reorg"})
+        store.add_edge(vid, 1, "knows")
+        assert store.run(f"g.v({vid}).out('knows')") == [1]

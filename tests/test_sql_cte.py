@@ -1,0 +1,128 @@
+"""Tests for common table expressions, including WITH RECURSIVE."""
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.errors import BindError
+
+
+class TestCte:
+    def test_basic_cte(self, people_db):
+        result = people_db.execute(
+            "WITH adults AS (SELECT id, name FROM people WHERE age >= 28) "
+            "SELECT COUNT(*) FROM adults"
+        )
+        assert result.scalar() == 4
+
+    def test_cte_chain(self, people_db):
+        result = people_db.execute(
+            "WITH a AS (SELECT id FROM people WHERE age > 25), "
+            "b AS (SELECT id FROM a WHERE id < 4) "
+            "SELECT COUNT(*) FROM b"
+        )
+        assert result.scalar() == 3
+
+    def test_cte_used_twice(self, people_db):
+        result = people_db.execute(
+            "WITH a AS (SELECT id FROM people) "
+            "SELECT COUNT(*) FROM a x, a y WHERE x.id = y.id"
+        )
+        assert result.scalar() == 5
+
+    def test_cte_column_rename(self, people_db):
+        result = people_db.execute(
+            "WITH a(v) AS (SELECT id FROM people) SELECT MAX(v) FROM a"
+        )
+        assert result.scalar() == 5
+
+    def test_cte_column_arity_mismatch(self, people_db):
+        with pytest.raises(BindError):
+            people_db.execute(
+                "WITH a(v, w) AS (SELECT id FROM people) SELECT * FROM a"
+            )
+
+    def test_cte_shadows_base_table(self, people_db):
+        result = people_db.execute(
+            "WITH people AS (SELECT 1 AS id) SELECT COUNT(*) FROM people"
+        )
+        assert result.scalar() == 1
+
+    def test_cte_joined_to_base(self, people_db):
+        result = people_db.execute(
+            "WITH rich AS (SELECT pid FROM orders WHERE amount > 100) "
+            "SELECT p.name FROM people p, rich r WHERE p.id = r.pid"
+        )
+        assert result.rows == [("bob",)]
+
+    def test_cte_with_set_op_body(self, people_db):
+        result = people_db.execute(
+            "WITH a AS (SELECT id FROM people WHERE id = 1 "
+            "UNION ALL SELECT id FROM people WHERE id = 2) "
+            "SELECT COUNT(*) FROM a"
+        )
+        assert result.scalar() == 2
+
+    def test_cte_with_order_limit(self, people_db):
+        result = people_db.execute(
+            "WITH top2 AS (SELECT id FROM people ORDER BY age DESC LIMIT 2) "
+            "SELECT * FROM top2"
+        )
+        assert sorted(result.rows) == [(1,), (3,)]
+
+
+class TestRecursiveCte:
+    def test_counting(self, db):
+        result = db.execute(
+            "WITH RECURSIVE r(n) AS ("
+            "SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 10) "
+            "SELECT COUNT(*), SUM(n) FROM r"
+        )
+        assert result.rows == [(10, 55)]
+
+    def test_transitive_closure(self, db):
+        db.execute("CREATE TABLE edge (src INTEGER, dst INTEGER)")
+        for src, dst in [(1, 2), (2, 3), (3, 4), (2, 5)]:
+            db.execute("INSERT INTO edge VALUES (?, ?)", [src, dst])
+        result = db.execute(
+            "WITH RECURSIVE reach(v) AS ("
+            "SELECT 1 UNION ALL "
+            "SELECT e.dst FROM reach r, edge e WHERE r.v = e.src) "
+            "SELECT COUNT(*) FROM reach"
+        )
+        assert result.scalar() == 5
+
+    def test_cycle_terminates_via_set_semantics(self, db):
+        db.execute("CREATE TABLE edge (src INTEGER, dst INTEGER)")
+        for src, dst in [(1, 2), (2, 3), (3, 1)]:
+            db.execute("INSERT INTO edge VALUES (?, ?)", [src, dst])
+        result = db.execute(
+            "WITH RECURSIVE reach(v) AS ("
+            "SELECT 1 UNION ALL "
+            "SELECT e.dst FROM reach r, edge e WHERE r.v = e.src) "
+            "SELECT COUNT(*) FROM reach"
+        )
+        assert result.scalar() == 3
+
+    def test_depth_bounded_paths(self, db):
+        db.execute("CREATE TABLE edge (src INTEGER, dst INTEGER)")
+        for src, dst in [(1, 2), (2, 3), (3, 4), (4, 5)]:
+            db.execute("INSERT INTO edge VALUES (?, ?)", [src, dst])
+        result = db.execute(
+            "WITH RECURSIVE hop(v, d) AS ("
+            "SELECT 1, 0 UNION ALL "
+            "SELECT e.dst, h.d + 1 FROM hop h, edge e "
+            "WHERE h.v = e.src AND h.d < 2) "
+            "SELECT MAX(d) FROM hop"
+        )
+        assert result.scalar() == 2
+
+    def test_missing_base_term_rejected(self, db):
+        db.execute("CREATE TABLE edge (src INTEGER, dst INTEGER)")
+        with pytest.raises(BindError):
+            db.execute(
+                "WITH RECURSIVE r(n) AS (SELECT n + 1 FROM r) SELECT * FROM r"
+            )
+
+    def test_non_recursive_with_recursive_keyword(self, db):
+        result = db.execute("WITH RECURSIVE a(x) AS (SELECT 7) SELECT x FROM a")
+        assert result.rows == [(7,)]

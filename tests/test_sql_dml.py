@@ -1,0 +1,142 @@
+"""Tests for INSERT / UPDATE / DELETE / DDL execution."""
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.errors import BindError, CatalogError, ConstraintError
+
+
+class TestInsert:
+    def test_insert_values(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b STRING)")
+        result = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert result.rowcount == 2
+
+    def test_insert_column_list_fills_nulls(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b STRING, c DOUBLE)")
+        db.execute("INSERT INTO t (c, a) VALUES (2.5, 1)")
+        assert db.execute("SELECT a, b, c FROM t").rows == [(1, None, 2.5)]
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE src (a INTEGER)")
+        db.execute("CREATE TABLE dst (a INTEGER)")
+        db.execute("INSERT INTO src VALUES (1), (2), (3)")
+        result = db.execute("INSERT INTO dst SELECT a * 10 FROM src WHERE a > 1")
+        assert result.rowcount == 2
+        assert sorted(db.execute("SELECT a FROM dst").rows) == [(20,), (30,)]
+
+    def test_primary_key_violation(self, db):
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_coerces_types(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b STRING)")
+        db.execute("INSERT INTO t VALUES ('5', 9)")
+        assert db.execute("SELECT a, b FROM t").rows == [(5, "9")]
+
+
+class TestUpdate:
+    def test_update_with_where(self, people_db):
+        result = people_db.execute(
+            "UPDATE people SET city = 'lyon' WHERE city = 'paris'"
+        )
+        assert result.rowcount == 2
+        assert people_db.execute(
+            "SELECT COUNT(*) FROM people WHERE city = 'lyon'"
+        ).scalar() == 2
+
+    def test_update_expression_uses_old_row(self, people_db):
+        people_db.execute("UPDATE people SET age = age + 1 WHERE id = 1")
+        assert people_db.execute(
+            "SELECT age FROM people WHERE id = 1"
+        ).scalar() == 35
+
+    def test_update_all_rows(self, people_db):
+        result = people_db.execute("UPDATE people SET age = 0")
+        assert result.rowcount == 5
+
+    def test_update_via_index_point_lookup(self, people_db):
+        # id is the primary key; the point update should not scan
+        result = people_db.execute("UPDATE people SET name = 'X' WHERE id = 3")
+        assert result.rowcount == 1
+
+    def test_update_maintains_indexes(self, people_db):
+        people_db.execute("CREATE INDEX ix_age ON people (age)")
+        people_db.execute("UPDATE people SET age = 99 WHERE id = 1")
+        assert people_db.execute(
+            "SELECT name FROM people WHERE age = 99"
+        ).rows == [("alice",)]
+
+
+class TestDelete:
+    def test_delete_with_where(self, people_db):
+        result = people_db.execute("DELETE FROM people WHERE age < 28")
+        assert result.rowcount == 1
+        assert people_db.execute("SELECT COUNT(*) FROM people").scalar() == 4
+
+    def test_delete_all(self, people_db):
+        result = people_db.execute("DELETE FROM orders")
+        assert result.rowcount == 6
+        assert people_db.execute("SELECT COUNT(*) FROM orders").scalar() == 0
+
+    def test_delete_then_insert(self, people_db):
+        people_db.execute("DELETE FROM people WHERE id = 1")
+        people_db.execute(
+            "INSERT INTO people VALUES (1, 'anna', 30, 'rome')"
+        )
+        assert people_db.execute(
+            "SELECT name FROM people WHERE id = 1"
+        ).rows == [("anna",)]
+
+
+class TestDdl:
+    def test_create_drop(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("DROP TABLE t")
+        with pytest.raises(BindError):
+            db.execute("SELECT * FROM t")
+
+    def test_create_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (a INTEGER)")
+
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+
+    def test_drop_missing_rejected(self, db):
+        with pytest.raises(BindError):
+            db.execute("DROP TABLE t")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS t")
+
+    def test_create_index_populates(self, people_db):
+        people_db.execute("CREATE INDEX ix ON people (city)")
+        table = people_db.table("people")
+        index = table.find_index("col(city)")
+        assert index is not None
+        assert list(index.lookup("london"))
+
+    def test_create_expression_index(self, db):
+        db.execute("CREATE TABLE docs (id INTEGER, body JSON)")
+        db.execute("INSERT INTO docs VALUES (?, ?)", [1, {"k": "v"}])
+        db.execute("CREATE INDEX ix ON docs (JSON_VAL(body, 'k'))")
+        index = db.table("docs").find_index("json_val(col(body),'k')")
+        assert index is not None
+        assert list(index.lookup("v"))
+
+    def test_unique_index_enforced(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("CREATE UNIQUE INDEX ix ON t (a)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_sorted_index_supports_range(self, people_db):
+        people_db.execute("CREATE INDEX ix ON people (age) USING sorted")
+        result = people_db.execute("SELECT name FROM people WHERE age > 30")
+        assert sorted(result.rows) == [("alice",), ("carol",)]

@@ -1,0 +1,69 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.relational.errors import SqlSyntaxError
+from repro.relational.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(token.kind, token.value) for token in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select From")[0] == ("KEYWORD", "SELECT")
+        assert kinds("select From")[1] == ("KEYWORD", "FROM")
+
+    def test_identifiers(self):
+        assert kinds("foo _bar x1") == [
+            ("IDENT", "foo"), ("IDENT", "_bar"), ("IDENT", "x1"),
+        ]
+
+    def test_quoted_identifier(self):
+        assert kinds('"Select"') == [("IDENT", "Select")]
+
+    def test_string_with_escape(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        assert kinds("1 2.5 1e3 2.5E-2") == [
+            ("NUMBER", "1"), ("NUMBER", "2.5"), ("NUMBER", "1e3"),
+            ("NUMBER", "2.5E-2"),
+        ]
+
+    def test_qualified_name_not_a_float(self):
+        assert kinds("t1.a") == [
+            ("IDENT", "t1"), ("OP", "."), ("IDENT", "a"),
+        ]
+
+    def test_operators(self):
+        assert [v for __, v in kinds("<= >= <> != || ?")] == [
+            "<=", ">=", "<>", "!=", "||", "?",
+        ]
+
+    def test_line_comment(self):
+        assert kinds("select -- comment\n 1") == [
+            ("KEYWORD", "SELECT"), ("NUMBER", "1"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("select /* x */ 1") == [
+            ("KEYWORD", "SELECT"), ("NUMBER", "1"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "EOF"

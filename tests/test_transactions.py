@@ -1,0 +1,187 @@
+"""Tests for transactions, undo rollback, and table locking."""
+
+import threading
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.errors import LockTimeoutError, TransactionError
+from repro.relational.locks import LockManager, ReadWriteLock
+
+
+def make_db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v STRING)")
+    database.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    return database
+
+
+class TestTransactions:
+    def test_commit(self):
+        database = make_db()
+        with database.transaction():
+            database.execute("INSERT INTO t VALUES (3, 'c')")
+        assert database.execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_rollback_insert(self):
+        database = make_db()
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (3, 'c')")
+                raise RuntimeError("boom")
+        assert database.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_rollback_delete(self):
+        database = make_db()
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("DELETE FROM t WHERE id = 1")
+                raise RuntimeError("boom")
+        assert database.execute("SELECT v FROM t WHERE id = 1").scalar() == "a"
+
+    def test_rollback_update(self):
+        database = make_db()
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("UPDATE t SET v = 'z' WHERE id = 2")
+                raise RuntimeError("boom")
+        assert database.execute("SELECT v FROM t WHERE id = 2").scalar() == "b"
+
+    def test_rollback_mixed_sequence(self):
+        database = make_db()
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (3, 'c')")
+                database.execute("UPDATE t SET v = 'zzz' WHERE id = 3")
+                database.execute("DELETE FROM t WHERE id = 1")
+                raise RuntimeError("boom")
+        rows = sorted(database.execute("SELECT id, v FROM t").rows)
+        assert rows == [(1, "a"), (2, "b")]
+
+    def test_rollback_restores_index_entries(self):
+        database = make_db()
+        database.execute("CREATE INDEX ix_v ON t (v)")
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.execute("DELETE FROM t WHERE v = 'a'")
+                raise RuntimeError("boom")
+        assert database.execute(
+            "SELECT id FROM t WHERE v = 'a'"
+        ).rows == [(1,)]
+
+    def test_nested_transactions_rejected(self):
+        database = make_db()
+        with pytest.raises(TransactionError):
+            with database.transaction():
+                with database.transaction():
+                    pass
+
+    def test_transaction_isolated_per_thread(self):
+        database = make_db()
+        errors = []
+
+        def other_thread():
+            try:
+                assert database.current_transaction() is None
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with database.transaction():
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert not errors
+
+
+class TestReadWriteLock:
+    def test_multiple_readers(self):
+        lock = ReadWriteLock("x")
+        lock.acquire_read()
+        lock.acquire_read()
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_blocks_reader(self):
+        lock = ReadWriteLock("x")
+        lock.acquire_write()
+        with pytest.raises(LockTimeoutError):
+            lock.acquire_read(timeout=0.05)
+        lock.release_write()
+        lock.acquire_read(timeout=0.05)
+
+    def test_reader_blocks_writer(self):
+        lock = ReadWriteLock("x")
+        lock.acquire_read()
+        with pytest.raises(LockTimeoutError):
+            lock.acquire_write(timeout=0.05)
+        lock.release_read()
+        lock.acquire_write(timeout=0.05)
+
+
+class TestLockManager:
+    def test_write_subsumes_read(self):
+        manager = LockManager(timeout=0.2)
+        token = manager.acquire(["t"], ["t"])
+        assert len(token) == 1
+        assert token[0][1] == "w"
+        LockManager.release(token)
+
+    def test_ordered_acquisition(self):
+        manager = LockManager(timeout=0.2)
+        token = manager.acquire(["b", "a"], ["c"])
+        names = [lock.name for lock, __ in token]
+        assert names == sorted(names)
+        LockManager.release(token)
+
+    def test_transaction_holds_locks_until_commit(self):
+        database = make_db()
+        release = threading.Event()
+        acquired = threading.Event()
+
+        def holder():
+            with database.transaction():
+                database.execute("UPDATE t SET v = 'x' WHERE id = 1")
+                acquired.set()
+                release.wait(timeout=2)
+
+        worker = threading.Thread(target=holder)
+        worker.start()
+        acquired.wait(timeout=2)
+        # while the transaction is open, a write from this thread must wait
+        database.locks.timeout = 0.05
+        with pytest.raises(LockTimeoutError):
+            database.execute("UPDATE t SET v = 'y' WHERE id = 2")
+        release.set()
+        worker.join()
+        database.locks.timeout = 2
+        database.execute("UPDATE t SET v = 'y' WHERE id = 2")
+
+    def test_concurrent_readers_proceed(self):
+        database = make_db()
+        results = []
+
+        def reader():
+            results.append(database.execute("SELECT COUNT(*) FROM t").scalar())
+
+        threads = [threading.Thread(target=reader) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [2] * 8
+
+    def test_concurrent_writers_serialize(self):
+        database = make_db()
+
+        def writer(n):
+            for i in range(20):
+                database.execute(
+                    "INSERT INTO t VALUES (?, 'w')", [100 + n * 100 + i]
+                )
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert database.execute("SELECT COUNT(*) FROM t").scalar() == 82
