@@ -12,9 +12,17 @@ colon::
     sqlgraph> g.V.has('age', T.gt, 28).name
     sqlgraph> :translate g.v(1).out.out     -- show the generated SQL
     sqlgraph> :explain g.v(1).out.out       -- show the engine's plan
+    sqlgraph> :analyze g.v(1).out.out       -- run it: actual rows + timings
     sqlgraph> :sql SELECT COUNT(*) FROM ea  -- raw SQL escape hatch
-    sqlgraph> :stats                        -- table sizes + load report
+    sqlgraph> :stats                        -- table sizes, load report,
+                                               last-query stats
     sqlgraph> :quit
+
+``:explain`` and ``:analyze`` take a Gremlin query, translate it, and ask
+the engine for the plan — ``:analyze`` additionally executes it and
+annotates every operator with actual row counts and wall time (see
+docs/OBSERVABILITY.md).  ``:stats`` appends the most recent query's
+translation trace and execution counters when one has run.
 """
 
 from __future__ import annotations
@@ -77,11 +85,16 @@ def _execute_command(store, line):
     if command in (":quit", ":q", ":exit"):
         raise SystemExit(0)
     if command == ":translate":
-        return store.translate(argument)
+        if not argument:
+            return "usage: :translate <gremlin query>"
+        try:
+            return store.translate(argument)
+        except Exception as exc:
+            return f"cannot translate: {type(exc).__name__}: {exc}"
     if command == ":explain":
-        sql = store.translate(argument)
-        result = store.database.execute("EXPLAIN " + sql)
-        return "\n".join(row[0] for row in result.rows)
+        return _explain(store, argument, analyze=False)
+    if command == ":analyze":
+        return _explain(store, argument, analyze=True)
     if command == ":sql":
         result = store.database.execute(argument)
         if result.columns:
@@ -103,10 +116,53 @@ def _execute_command(store, line):
             f"{report.out.spill_percentage:.2f}%, in spill "
             f"{report.incoming.spill_percentage:.2f}%"
         )
+        lines.extend(_last_query_lines(store))
         return "\n".join(lines)
     if command == ":help":
         return __doc__.strip()
     return f"unknown command {command!r} (try :help)"
+
+
+def _explain(store, argument, analyze):
+    """Translate Gremlin and show the engine's plan; never raises."""
+    name = ":analyze" if analyze else ":explain"
+    if not argument:
+        return f"usage: {name} <gremlin query>"
+    try:
+        sql = store.translate(argument)
+    except Exception as exc:
+        return f"cannot translate: {type(exc).__name__}: {exc}"
+    keyword = "EXPLAIN ANALYZE " if analyze else "EXPLAIN "
+    try:
+        result = store.database.execute(keyword + sql)
+    except Exception as exc:
+        return f"cannot explain: {type(exc).__name__}: {exc}"
+    return "\n".join(row[0] for row in result.rows)
+
+
+def _last_query_lines(store):
+    """Render the last-query section of :stats (empty if none ran)."""
+    stats = store.last_query_stats
+    if stats is None:
+        return []
+    lines = [
+        "",
+        f"last query: {stats.gremlin}",
+        f"  {stats.rows_returned} rows in {stats.elapsed_s * 1000:.3f}ms "
+        f"(translation {stats.translate_s * 1000:.3f}ms)",
+    ]
+    if stats.trace is not None:
+        lines.append("  translation: " + stats.trace.describe().splitlines()[0])
+    execution = stats.execution
+    if execution is not None:
+        lines.append(
+            f"  buffer pool: {execution.page_hits} hits, "
+            f"{execution.page_misses} misses, "
+            f"{execution.page_evictions} evictions"
+        )
+    if store.slow_query_log:
+        lines.append(f"  slow-query log: {len(store.slow_query_log)} entries")
+    return lines
 
 
 def main(argv=None):

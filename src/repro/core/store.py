@@ -14,12 +14,15 @@
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.core.loader import SQLGraphLoader
 from repro.core.procedures import GraphProcedures
 from repro.core.schema import attribute_index_ddl
 from repro.core.translator import GremlinTranslator
 from repro.graph.blueprints import Direction, GraphInterface
 from repro.gremlin.parser import parse_gremlin
+from repro.obs.stats import ExecutionStats, QueryStats
 from repro.relational.database import Database
 
 
@@ -30,10 +33,16 @@ class SQLGraphStore(GraphInterface):
     :param max_columns: cap on adjacency column triads.
     :param client: optional latency model charged once per request
         (:class:`repro.baselines.latency.ClientServerLink`).
+    :param slow_query_threshold: seconds; Gremlin queries whose total
+        (translate + execute) time meets the threshold are appended to
+        :attr:`slow_query_log` as structured dicts.  ``None`` disables.
     """
 
+    #: slow_query_log keeps at most this many entries (oldest dropped).
+    SLOW_QUERY_LOG_LIMIT = 100
+
     def __init__(self, buffer_pool_pages=None, max_columns=None, client=None,
-                 planner_options=None):
+                 planner_options=None, slow_query_threshold=None):
         self.database = Database(
             buffer_pool_pages, planner_options=planner_options
         )
@@ -47,6 +56,11 @@ class SQLGraphStore(GraphInterface):
         self._next_edge_id = 1
         self._attribute_indexes = []  # (element, key, sorted_index)
         self.queries_translated = 0
+        self.slow_query_threshold = slow_query_threshold
+        self.slow_query_log = []
+        #: :class:`repro.obs.stats.QueryStats` for the most recent
+        #: ``query``/``run`` call (translation trace + execution counters).
+        self.last_query_stats = None
 
     # ------------------------------------------------------------------
     # loading
@@ -134,10 +148,49 @@ class SQLGraphStore(GraphInterface):
         return self.translator.translate(query)
 
     def query(self, gremlin_text):
-        """Run a Gremlin query; returns the engine ResultSet."""
+        """Run a Gremlin query; returns the engine ResultSet.
+
+        Each call refreshes :attr:`last_query_stats` with the translation
+        trace, wall times, and buffer-pool deltas.  Per-operator actuals
+        are included when ``self.database.collect_stats`` is on (the same
+        switch EXPLAIN ANALYZE uses).  Queries at or above
+        :attr:`slow_query_threshold` seconds land in :attr:`slow_query_log`.
+        """
+        started = perf_counter()
         sql = self.translate(gremlin_text)
+        translated = perf_counter()
+        stats = QueryStats(
+            gremlin_text, sql, trace=self.translator.last_trace
+        )
+        stats.translate_s = translated - started
         self._charge_round_trip()
-        return self.database.execute(sql)
+        pool = self.database.buffer_pool
+        hits0, misses0, evictions0 = pool.hits, pool.misses, pool.evictions
+        result = self.database.execute(sql)
+        stats.elapsed_s = perf_counter() - started
+        stats.rows_returned = len(result.rows)
+        if self.database.collect_stats and self.database.last_statement_stats:
+            stats.execution = self.database.last_statement_stats
+        else:
+            execution = ExecutionStats(sql)
+            execution.elapsed_s = stats.elapsed_s - stats.translate_s
+            execution.rows_returned = stats.rows_returned
+            execution.page_hits = pool.hits - hits0
+            execution.page_misses = pool.misses - misses0
+            execution.page_evictions = pool.evictions - evictions0
+            stats.execution = execution
+        self.last_query_stats = stats
+        threshold = self.slow_query_threshold
+        if threshold is not None and stats.elapsed_s >= threshold:
+            self._log_slow_query(stats)
+        return result
+
+    def _log_slow_query(self, stats):
+        entry = stats.as_dict()
+        entry["threshold_s"] = self.slow_query_threshold
+        self.slow_query_log.append(entry)
+        if len(self.slow_query_log) > self.SLOW_QUERY_LOG_LIMIT:
+            del self.slow_query_log[: -self.SLOW_QUERY_LOG_LIMIT]
 
     def run(self, gremlin_text):
         """Run a Gremlin query; returns the list of result values."""

@@ -22,6 +22,18 @@ SQL functions.
 Side-effect pipes are identity functions, and closures outside the
 restricted closure language are rejected — the paper's stated limitations
 (§4.4).
+
+Paper artifact map: the per-pipe CTE templates implement **Table 8** (start
+pipes, out/in/both via OPA/OSA resp. IPA/ISA, outE/inE, outV/inV, property
+and filter pipes, path manipulation); the GraphQuery/VertexQuery merges and
+the EA shortcut are the **§4.5.1** rewrites measured in **Table 4**; loop
+handling is **§4.3**.
+
+Observability: every translation records a
+:class:`repro.obs.stats.TranslationTrace` (exposed as
+``GremlinTranslator.last_trace``) naming each template applied, the CTE it
+produced, which merge rules fired, and whether the EA single-step shortcut
+was taken — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from __future__ import annotations
 from repro.gremlin import closures as cl
 from repro.gremlin import pipes as p
 from repro.gremlin.errors import UnsupportedPipeError
+from repro.obs.stats import TranslationTrace
 
 VERTEX = "vertex"
 EDGE = "edge"
@@ -57,11 +70,15 @@ class GremlinTranslator:
 
     def __init__(self, schema):
         self.schema = schema
+        #: TranslationTrace of the most recent :meth:`translate` call.
+        self.last_trace = None
 
     def translate(self, query):
         """Return the SQL text for *query* (a GremlinQuery)."""
         translation = _Translation(self.schema, list(query.pipes))
-        return translation.build()
+        sql = translation.build()
+        self.last_trace = translation.trace
+        return sql
 
 
 class _Translation:
@@ -78,6 +95,8 @@ class _Translation:
         self.path_types = []  # element type at each path position
         self.marks = {}  # as-name -> path index
         self.aggregates = {}  # aggregate-name -> cte name
+        self.trace = TranslationTrace()
+        self.trace.path_tracking = self.track_path
 
     # ------------------------------------------------------------------
     # driver
@@ -130,11 +149,13 @@ class _Translation:
 
         return scan(pipes)
 
-    def _new_cte(self, sql):
+    def _new_cte(self, sql, template="cte"):
         name = f"temp_{self.counter}"
         self.counter += 1
         self.ctes.append((name, sql))
         self.current = name
+        self.trace.cte_count += 1
+        self.trace.record(f"{name}: {template}")
         return name
 
     def _extend(self, elem_type):
@@ -181,7 +202,12 @@ class _Translation:
                 f"SELECT p.vid AS val{path} FROM {table} p WHERE "
                 + " AND ".join(conditions)
             )
-            self._new_cte(sql)
+            if merged:
+                self.trace.graphquery_merges += len(merged)
+                template = f"g.V start + GraphQuery merge of {len(merged)} filter(s)"
+            else:
+                template = "g.V start"
+            self._new_cte(sql, template)
             self._extend(VERTEX)
             return next_position
         table = self.names["ea"]
@@ -202,7 +228,12 @@ class _Translation:
             f"SELECT p.eid AS val{path} FROM {table} p WHERE "
             + " AND ".join(conditions)
         )
-        self._new_cte(sql)
+        if merged:
+            self.trace.graphquery_merges += len(merged)
+            template = f"g.E start + GraphQuery merge of {len(merged)} filter(s)"
+        else:
+            template = "g.E start"
+        self._new_cte(sql, template)
         self._extend(EDGE)
         return next_position
 
@@ -290,7 +321,8 @@ class _Translation:
             select_list = "val, path" if self.track_path else "val"
             self._new_cte(
                 f"SELECT {select_list} FROM {out_cte} UNION ALL "
-                f"SELECT {select_list} FROM {in_cte}"
+                f"SELECT {select_list} FROM {in_cte}",
+                "both: union of out/in branches",
             )
         else:
             self._adjacent_direction(tin, pipe.direction, pipe.labels)
@@ -314,7 +346,8 @@ class _Translation:
             f"SELECT p.{target} AS val{path} FROM {tin} v, {ea} p "
             f"WHERE v.val = p.{source}{label_cond}"
         )
-        return self._new_cte(sql)
+        self.trace.ea_shortcut = True
+        return self._new_cte(sql, f"adjacent({direction}) via EA shortcut (§3.5)")
 
     def _adjacent_via_hash(self, tin, direction, labels):
         """Multi-step traversal through OPA/OSA (or IPA/ISA) — the paper's
@@ -328,7 +361,10 @@ class _Translation:
             f"SELECT t.val AS val{path_a} FROM {tin} v, {primary} p, {unnest} "
             f"WHERE v.val = p.vid AND t.val IS NOT NULL{label_cond}"
         )
-        stage_a = self._new_cte(sql_a)
+        primary_name = "OPA" if direction == "out" else "IPA"
+        stage_a = self._new_cte(
+            sql_a, f"adjacent({direction}) via {primary_name} unnest (Table 8)"
+        )
         resolved = "COALESCE(s.val, p.val)"
         path_b = (
             f", (p.path || {resolved}) AS path" if self.track_path else ""
@@ -337,7 +373,10 @@ class _Translation:
             f"SELECT {resolved} AS val{path_b} FROM {stage_a} p "
             f"LEFT OUTER JOIN {secondary} s ON p.val = s.valid"
         )
-        return self._new_cte(sql_b)
+        secondary_name = "OSA" if direction == "out" else "ISA"
+        return self._new_cte(
+            sql_b, f"adjacent({direction}) spill resolution via {secondary_name}"
+        )
 
     def _translate_incident(self, position):
         """outE/inE/bothE with VertexQuery merging of edge filters."""
@@ -353,6 +392,12 @@ class _Translation:
         label_cond = self._label_condition("p.lbl", pipe.labels)
         path = self._path_select("p.eid") if self.track_path else ""
 
+        if merged:
+            self.trace.vertexquery_merges += len(merged)
+            suffix = f" + VertexQuery merge of {len(merged)} filter(s)"
+        else:
+            suffix = ""
+
         def one(source):
             return (
                 f"SELECT p.eid AS val{path} FROM {tin} v, {ea} p "
@@ -360,18 +405,19 @@ class _Translation:
             )
 
         if pipe.direction == "out":
-            self._new_cte(one("outv"))
+            self._new_cte(one("outv"), f"outE via EA{suffix}")
         elif pipe.direction == "in":
-            self._new_cte(one("inv"))
+            self._new_cte(one("inv"), f"inE via EA{suffix}")
         else:
             # both branches read from the same input CTE (tin is captured
             # before either branch CTE is registered)
-            first = self._new_cte(one("outv"))
-            second = self._new_cte(one("inv"))
+            first = self._new_cte(one("outv"), f"bothE out-branch{suffix}")
+            second = self._new_cte(one("inv"), f"bothE in-branch{suffix}")
             select_list = "val, path" if self.track_path else "val"
             self._new_cte(
                 f"SELECT {select_list} FROM {first} UNION ALL "
-                f"SELECT {select_list} FROM {second}"
+                f"SELECT {select_list} FROM {second}",
+                "bothE: union of branches",
             )
         self._extend(EDGE)
         return next_position
@@ -395,7 +441,7 @@ class _Translation:
                 f"SELECT p.{column} AS val{path} FROM {tin} v, {ea} p "
                 f"WHERE v.val = p.eid"
             )
-        self._new_cte(sql)
+        self._new_cte(sql, f"{pipe.direction}V edge endpoint via EA")
         self._extend(VERTEX)
 
     # ------------------------------------------------------------------
@@ -404,7 +450,9 @@ class _Translation:
     def _translate_id(self):
         # element ids are already the val column; re-tag the element type
         path = self._path_select("v.val") if self.track_path else ""
-        self._new_cte(f"SELECT v.val AS val{path} FROM {self.current} v")
+        self._new_cte(
+            f"SELECT v.val AS val{path} FROM {self.current} v", "id getter"
+        )
         self._extend(VALUE)
 
     def _translate_label(self):
@@ -421,7 +469,7 @@ class _Translation:
             f"SELECT p.lbl AS val{path} FROM {self.current} v, {ea} p "
             f"WHERE v.val = p.eid"
         )
-        self._new_cte(sql)
+        self._new_cte(sql, "label getter via EA")
         self._extend(VALUE)
 
     def _translate_property(self, pipe):
@@ -432,7 +480,8 @@ class _Translation:
             f"SELECT {value} AS val{path} FROM {self.current} v, {table} p "
             f"WHERE v.val = p.{id_column} AND {value} IS NOT NULL"
         )
-        self._new_cte(sql)
+        attr_table = "VA" if self.elem_type is VERTEX else "EA"
+        self._new_cte(sql, f"property({pipe.key}) via JSON_VAL on {attr_table}")
         self._extend(VALUE)
 
     def _attribute_table(self):
@@ -452,7 +501,7 @@ class _Translation:
         if self.elem_type is VALUE:
             condition = self._filter_condition(None, VALUE, pipe)
             sql = f"SELECT {select_list} FROM {self.current} v WHERE {condition}"
-            self._new_cte(sql)
+            self._new_cte(sql, "filter on value column")
             return
         if self._filter_touches_attributes(pipe):
             table, id_column = self._attribute_table()
@@ -461,10 +510,12 @@ class _Translation:
                 f"SELECT {select_list} FROM {self.current} v, {table} p "
                 f"WHERE v.val = p.{id_column} AND {condition}"
             )
+            template = "filter with attribute-table join"
         else:
             condition = self._filter_condition(None, self.elem_type, pipe)
             sql = f"SELECT {select_list} FROM {self.current} v WHERE {condition}"
-        self._new_cte(sql)
+            template = "filter on element id"
+        self._new_cte(sql, template)
 
     def _filter_touches_attributes(self, pipe):
         """Does this filter need the VA/EA attribute table joined in?"""
@@ -604,7 +655,7 @@ class _Translation:
             )
         else:
             sql = f"SELECT DISTINCT val FROM {self.current}"
-        self._new_cte(sql)
+        self._new_cte(sql, "dedup")
 
     def _translate_count(self):
         if self.track_path:
@@ -614,7 +665,7 @@ class _Translation:
             )
         else:
             sql = f"SELECT COUNT(*) AS val FROM {self.current}"
-        self._new_cte(sql)
+        self._new_cte(sql, "count aggregate")
         self.elem_type = VALUE
 
     def _translate_range(self, pipe):
@@ -627,19 +678,19 @@ class _Translation:
             )
         else:
             sql = f"SELECT {select_list} FROM {self.current} OFFSET {pipe.low}"
-        self._new_cte(sql)
+        self._new_cte(sql, "range via LIMIT/OFFSET")
 
     def _translate_order(self, pipe):
         select_list = "val, path" if self.track_path else "val"
         direction = " DESC" if pipe.descending else ""
         sql = f"SELECT {select_list} FROM {self.current} ORDER BY val{direction}"
-        self._new_cte(sql)
+        self._new_cte(sql, "order")
 
     def _translate_path(self):
         if not self.track_path:
             raise UnsupportedPipeError("path pipe requires path tracking")
         sql = f"SELECT path AS val, path FROM {self.current}"
-        self._new_cte(sql)
+        self._new_cte(sql, "path projection")
         self.elem_type = PATH
 
     def _translate_simple_path(self, pipe):
@@ -648,7 +699,8 @@ class _Translation:
             f"SELECT val, path FROM {self.current} "
             f"WHERE ISSIMPLEPATH(path) {predicate}"
         )
-        self._new_cte(sql)
+        kind = "simplePath" if isinstance(pipe, p.SimplePathPipe) else "cyclicPath"
+        self._new_cte(sql, f"{kind} filter")
 
     def _translate_back(self, pipe):
         if isinstance(pipe.target, int):
@@ -665,7 +717,7 @@ class _Translation:
             f"SELECT ELEMENT_AT(path, {index}) AS val, "
             f"PATH_PREFIX(path, {index}) AS path FROM {self.current}"
         )
-        self._new_cte(sql)
+        self._new_cte(sql, f"back to path[{index}]")
         self.elem_type = self.path_types[index]
         self.path_len = index + 1
         self.path_types = self.path_types[: index + 1]
@@ -681,13 +733,15 @@ class _Translation:
         value = f"MAKE_LIST({', '.join(parts)})"
         path = ", path" if self.track_path else ""
         sql = f"SELECT {value} AS val{path} FROM {self.current}"
-        self._new_cte(sql)
+        self._new_cte(sql, "select marked positions")
         self.elem_type = VALUE
 
     def _translate_aggregate(self, pipe):
         snapshot = f"agg_{pipe.name}_{self.counter}"
         self.counter += 1
         self.ctes.append((snapshot, f"SELECT val FROM {self.current}"))
+        self.trace.cte_count += 1
+        self.trace.record(f"{snapshot}: aggregate snapshot ({pipe.name})")
         self.aggregates[pipe.name] = snapshot
 
     def _translate_except_retain(self, pipe):
@@ -706,7 +760,10 @@ class _Translation:
             rendered = ", ".join(sql_literal(value) for value in pipe.values)
             condition = f"v.val {negated}IN ({rendered})"
         sql = f"SELECT {select_list} FROM {self.current} v WHERE {condition}"
-        self._new_cte(sql)
+        if isinstance(pipe, p.ExceptPipe):
+            self._new_cte(sql, "except anti-join")
+        else:
+            self._new_cte(sql, "retain semi-join")
 
     def _translate_and_or(self, pipe):
         """Paper's and/or templates: run each branch with path tracking and
@@ -729,7 +786,8 @@ class _Translation:
             )
             conditions = f"v.val IN ({union})"
         sql = f"SELECT {select_list} FROM {self.current} v WHERE {conditions}"
-        self._new_cte(sql)
+        kind = "and" if isinstance(pipe, p.AndPipe) else "or"
+        self._new_cte(sql, f"{kind}() combinator over {len(branch_outputs)} branches")
 
     def _translate_branch(self, branch_pipes):
         """Translate an anonymous pipeline seeded from the current CTE."""
@@ -739,7 +797,7 @@ class _Translation:
         )
         seed_sql = f"SELECT val, PATH_INIT(val) AS path FROM {self.current}"
         self.track_path = True
-        self._new_cte(seed_sql)
+        self._new_cte(seed_sql, "branch seed (path re-rooted)")
         self.path_len = 1
         self.path_types = [self.elem_type]
         i = 0
@@ -799,7 +857,7 @@ class _Translation:
         union = " UNION ALL ".join(
             f"SELECT {select_list} FROM {out}" for out in outputs
         )
-        self._new_cte(union)
+        self._new_cte(union, f"copySplit merge of {len(outputs)} branches")
         (self.elem_type, self.path_len, self.path_types, self.marks) = exit_state
 
     def _translate_if_then_else(self, pipe):
@@ -823,7 +881,7 @@ class _Translation:
         where = f" WHERE v.val = p.{id_column}" if needs_attrs else ""
         path = self._path_select(case) if self.track_path else ""
         sql = f"SELECT {case} AS val{path} FROM {self.current} v{join}{where}"
-        self._new_cte(sql)
+        self._new_cte(sql, "ifThenElse as CASE expression")
         self._extend(VALUE)
 
     # ------------------------------------------------------------------
@@ -842,6 +900,11 @@ class _Translation:
         segment = self.pipes[start:position]
         if bound is not None:
             # unroll: the segment already ran once before reaching the loop
+            self.trace.loop_unrolls += 1
+            self.trace.record(
+                f"loop unrolled {bound - 1} extra iteration(s) of "
+                f"{len(segment)} pipe(s) (§4.3)"
+            )
             for __ in range(bound - 1):
                 for inner in segment:
                     if isinstance(inner, p.LoopPipe):

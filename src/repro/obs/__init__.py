@@ -1,0 +1,46 @@
+"""Observability for the query path: metrics, per-query stats, plan analysis.
+
+Two layers, both dependency-free:
+
+* :mod:`repro.obs.metrics` — a process-global :data:`ENGINE_METRICS`
+  registry of counters / gauges / timing histograms that the relational
+  engine reports into (page cache, index probes, lock waits).  Disabled by
+  default; the disabled path costs one branch per event.
+* :mod:`repro.obs.stats` — per-query :class:`ExecutionStats` (operator
+  actual rows + inclusive wall time via :func:`instrument_plan`), the
+  translator's :class:`TranslationTrace`, and the store-level
+  :class:`QueryStats` that ties a Gremlin query to its SQL, trace and
+  execution counters.
+
+See ``docs/OBSERVABILITY.md`` for metric names and output formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    ENGINE_METRICS,
+    Gauge,
+    MetricsRegistry,
+    TimingHistogram,
+)
+from repro.obs.stats import (
+    ExecutionStats,
+    OperatorStats,
+    QueryStats,
+    TranslationTrace,
+    instrument_plan,
+    render_analyzed_plan,
+)
+
+__all__ = [
+    "Counter",
+    "ENGINE_METRICS",
+    "ExecutionStats",
+    "Gauge",
+    "MetricsRegistry",
+    "OperatorStats",
+    "QueryStats",
+    "TimingHistogram",
+    "TranslationTrace",
+    "instrument_plan",
+    "render_analyzed_plan",
+]

@@ -1,0 +1,234 @@
+"""A tiny in-process metrics registry: counters, gauges, timing histograms.
+
+Zero dependencies, and designed so the *disabled* path costs one attribute
+load plus one branch — instrumentation sites are written as::
+
+    from repro.obs.metrics import ENGINE_METRICS
+
+    _PROBES = ENGINE_METRICS.counter("index.probes")
+    ...
+    if ENGINE_METRICS.enabled:
+        _PROBES.inc()
+
+Counters are cached at the call site, so the registry dict is only touched
+at import/setup time, never per event.  ``ENGINE_METRICS`` is the process
+global the relational engine reports into; it starts **disabled** so the
+benchmark hot paths pay nothing unless observability is explicitly turned
+on (``ENGINE_METRICS.enable()``, the CLI ``:stats`` machinery, or the
+``REPRO_BENCH_METRICS=1`` benchmark knob).
+
+Histograms bucket observations by power-of-two microseconds, which is
+plenty for "where does query time go" questions without the memory or
+arithmetic of a real HDR histogram.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """A monotonically increasing count (int or float increments)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def reset(self):
+        self.value = 0
+
+
+class TimingHistogram:
+    """Wall-time observations bucketed by power-of-two microseconds.
+
+    Tracks count / total / min / max exactly; the bucket array answers
+    coarse percentile questions (:meth:`quantile`).
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    #: bucket upper bounds in seconds: 1us, 2us, 4us, ... ~8.4s, +inf
+    BOUNDS = tuple(1e-6 * 2 ** i for i in range(24)) + (math.inf,)
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.buckets = [0] * len(self.BOUNDS)
+
+    def observe(self, seconds):
+        self.count += 1
+        self.total += seconds
+        if self.minimum is None or seconds < self.minimum:
+            self.minimum = seconds
+        if self.maximum is None or seconds > self.maximum:
+            self.maximum = seconds
+        for i, bound in enumerate(self.BOUNDS):
+            if seconds <= bound:
+                self.buckets[i] += 1
+                return
+
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """Upper bound of the bucket holding the q-quantile observation."""
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        running = 0
+        for i, bound in enumerate(self.BOUNDS):
+            running += self.buckets[i]
+            if running >= target:
+                return bound
+        return self.BOUNDS[-1]
+
+    def reset(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+        self.buckets = [0] * len(self.BOUNDS)
+
+
+class _Timer:
+    """Context manager that observes elapsed wall time into a histogram."""
+
+    __slots__ = ("_registry", "_histogram", "_start")
+
+    def __init__(self, registry, histogram):
+        self._registry = registry
+        self._histogram = histogram
+        self._start = None
+
+    def __enter__(self):
+        if self._registry.enabled:
+            from time import perf_counter
+
+            self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._start is not None:
+            from time import perf_counter
+
+            self._histogram.observe(perf_counter() - self._start)
+        return False
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timing histograms behind one enable flag.
+
+    The ``enabled`` attribute is a plain bool read by instrumentation sites;
+    the registry itself never sits on a hot path.  Metric objects are created
+    on demand and live for the registry's lifetime, so call sites can (and
+    should) cache them.
+    """
+
+    def __init__(self, enabled=False):
+        self.enabled = enabled
+        self._metrics = {}
+        self._guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self):
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False
+
+    def reset(self):
+        """Zero every registered metric (the set of names is kept)."""
+        with self._guard:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    # ------------------------------------------------------------------
+    # metric accessors
+    # ------------------------------------------------------------------
+    def _get(self, name, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._guard:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self._metrics[name] = factory(name)
+        if not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {factory.__name__}"
+            )
+        return metric
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name):
+        return self._get(name, TimingHistogram)
+
+    def time(self, name):
+        """``with registry.time("stage"):`` — no-op when disabled."""
+        return _Timer(self, self.histogram(name))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def value(self, name):
+        """Current value of a counter/gauge (0 if never created)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        return metric.value
+
+    def snapshot(self):
+        """Flat ``{name: number}`` view of every metric.
+
+        Histograms expand into ``name.count`` / ``name.total_s`` /
+        ``name.mean_s`` / ``name.max_s`` entries.
+        """
+        out = {}
+        with self._guard:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            if isinstance(metric, TimingHistogram):
+                out[f"{metric.name}.count"] = metric.count
+                out[f"{metric.name}.total_s"] = metric.total
+                out[f"{metric.name}.mean_s"] = metric.mean()
+                out[f"{metric.name}.max_s"] = metric.maximum or 0.0
+            else:
+                out[metric.name] = metric.value
+        return out
+
+
+#: Process-global registry the relational engine reports into.  Disabled by
+#: default; benchmarks and the CLI flip it on explicitly.
+ENGINE_METRICS = MetricsRegistry(enabled=False)

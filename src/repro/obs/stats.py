@@ -1,0 +1,211 @@
+"""Per-query execution statistics: operator counters, plan annotation.
+
+This module is deliberately ignorant of the relational engine's classes —
+it works against the small structural interface every physical operator
+exposes (``rows()``, ``describe()``, ``children_ops()``, ``est_rows``), so
+``repro.obs`` stays dependency-free and the engine can import it without
+cycles.
+
+The central idea: instrumentation is **opt-in per plan**.  A plan runs
+untouched unless :func:`instrument_plan` wraps it first, so the disabled
+path adds zero per-row work.  Wrapping replaces each operator's bound
+``rows`` with a generator that counts rows out and accumulates *inclusive*
+wall time (time spent inside this operator's iterator, children included —
+the same convention as PostgreSQL's ``EXPLAIN ANALYZE`` actual time).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class OperatorStats:
+    """Actual row count and inclusive wall time for one plan operator."""
+
+    __slots__ = ("rows_out", "time_s", "started")
+
+    def __init__(self):
+        self.rows_out = 0
+        self.time_s = 0.0
+        self.started = False
+
+
+class ExecutionStats:
+    """Everything observed while executing one statement.
+
+    ``operators`` maps ``id(operator)`` to :class:`OperatorStats` — the
+    plan object itself is the key space, so the stats die with the plan.
+    Counter deltas (page cache, index probes, lock waits) are filled in by
+    the database facade around execution.
+    """
+
+    def __init__(self, sql=None):
+        self.sql = sql
+        self.operators = {}
+        self.cte_plans = []  # (cte_name, instrumented plan root)
+        self.elapsed_s = 0.0
+        self.rows_returned = 0
+        self.page_hits = 0
+        self.page_misses = 0
+        self.page_evictions = 0
+        self.index_probes = 0
+        self.index_range_scans = 0
+        self.lock_wait_s = 0.0
+
+    def operator_stats(self, operator):
+        return self.operators.get(id(operator))
+
+    def total_operator_rows(self):
+        return sum(entry.rows_out for entry in self.operators.values())
+
+    def as_dict(self):
+        return {
+            "sql": self.sql,
+            "elapsed_s": self.elapsed_s,
+            "rows_returned": self.rows_returned,
+            "page_hits": self.page_hits,
+            "page_misses": self.page_misses,
+            "page_evictions": self.page_evictions,
+            "index_probes": self.index_probes,
+            "index_range_scans": self.index_range_scans,
+            "lock_wait_s": self.lock_wait_s,
+        }
+
+
+def instrument_plan(plan, stats):
+    """Wrap every operator of *plan* so execution records into *stats*.
+
+    Mutates the plan in place (plans are per-statement throwaways).  Safe
+    to call once per plan; wrapping an operator twice would double-count.
+    """
+    seen = set()
+
+    def wrap(operator):
+        if id(operator) in seen:
+            return
+        seen.add(id(operator))
+        entry = OperatorStats()
+        stats.operators[id(operator)] = entry
+
+        original = operator.rows
+
+        def counted_rows(_original=original, _entry=entry):
+            _entry.started = True
+            iterator = iter(_original())
+            while True:
+                start = perf_counter()
+                try:
+                    row = next(iterator)
+                except StopIteration:
+                    _entry.time_s += perf_counter() - start
+                    return
+                _entry.time_s += perf_counter() - start
+                _entry.rows_out += 1
+                yield row
+
+        operator.rows = counted_rows
+        for child in operator.children_ops():
+            wrap(child)
+
+    wrap(plan)
+    return plan
+
+
+def render_analyzed_plan(plan, stats, indent=0):
+    """Render an executed plan tree with actual row counts and timings.
+
+    Mirrors the static ``explain_plan`` layout, adding ``actual_rows`` and
+    inclusive ``time``; operators that never started (e.g. the probe side
+    of a short-circuited join) render as ``never executed``.
+    """
+    entry = stats.operator_stats(plan)
+    if entry is None:
+        annotation = ""
+    elif not entry.started:
+        annotation = "  (never executed)"
+    else:
+        annotation = (
+            f"  (actual_rows={entry.rows_out} time={entry.time_s * 1000:.3f}ms)"
+        )
+    lines = [
+        f"{'  ' * indent}{plan.describe()}  (est_rows={plan.est_rows})"
+        f"{annotation}"
+    ]
+    for child in plan.children_ops():
+        lines.extend(
+            render_analyzed_plan(child, stats, indent + 1).splitlines()
+        )
+    return "\n".join(lines)
+
+
+class TranslationTrace:
+    """What the Gremlin→SQL translator did for one pipeline (paper §4.5.1).
+
+    ``events`` is the ordered list of template applications; the named
+    counters summarize which rewrites fired so tests and the slow-query log
+    can assert on them without string-matching SQL.
+    """
+
+    def __init__(self):
+        self.events = []
+        self.cte_count = 0
+        self.graphquery_merges = 0
+        self.vertexquery_merges = 0
+        self.ea_shortcut = False
+        self.path_tracking = False
+        self.loop_unrolls = 0
+
+    def record(self, event):
+        self.events.append(event)
+
+    def as_dict(self):
+        return {
+            "events": list(self.events),
+            "cte_count": self.cte_count,
+            "graphquery_merges": self.graphquery_merges,
+            "vertexquery_merges": self.vertexquery_merges,
+            "ea_shortcut": self.ea_shortcut,
+            "path_tracking": self.path_tracking,
+            "loop_unrolls": self.loop_unrolls,
+        }
+
+    def describe(self):
+        flags = []
+        if self.ea_shortcut:
+            flags.append("EA-shortcut")
+        if self.graphquery_merges:
+            flags.append(f"GraphQuery-merge x{self.graphquery_merges}")
+        if self.vertexquery_merges:
+            flags.append(f"VertexQuery-merge x{self.vertexquery_merges}")
+        if self.loop_unrolls:
+            flags.append(f"loop-unroll x{self.loop_unrolls}")
+        if self.path_tracking:
+            flags.append("path-tracking")
+        summary = ", ".join(flags) if flags else "no rewrites"
+        lines = [f"{self.cte_count} CTEs; {summary}"]
+        lines.extend(f"  {event}" for event in self.events)
+        return "\n".join(lines)
+
+
+class QueryStats:
+    """Store-level view of one Gremlin query: translation + execution."""
+
+    def __init__(self, gremlin=None, sql=None, trace=None):
+        self.gremlin = gremlin
+        self.sql = sql
+        self.trace = trace
+        self.execution = None  # ExecutionStats
+        self.translate_s = 0.0
+        self.elapsed_s = 0.0
+        self.rows_returned = 0
+
+    def as_dict(self):
+        return {
+            "gremlin": self.gremlin,
+            "sql": self.sql,
+            "translate_s": self.translate_s,
+            "elapsed_s": self.elapsed_s,
+            "rows_returned": self.rows_returned,
+            "trace": self.trace.as_dict() if self.trace else None,
+            "execution": self.execution.as_dict() if self.execution else None,
+        }

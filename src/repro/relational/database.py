@@ -9,7 +9,10 @@ statements return a :class:`ResultSet`; DML returns a ResultSet whose
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 
+from repro.obs.metrics import ENGINE_METRICS
+from repro.obs.stats import ExecutionStats, instrument_plan, render_analyzed_plan
 from repro.relational import expressions as ex
 from repro.relational import operators as op
 from repro.relational.errors import BindError, CatalogError, TransactionError
@@ -155,6 +158,11 @@ class Database:
         self.planner_options = dict(planner_options or {})
         self._local = threading.local()
         self.statements_executed = 0
+        #: when True, every SELECT is executed with operator instrumentation
+        #: and the resulting :class:`~repro.obs.stats.ExecutionStats` lands in
+        #: :attr:`last_statement_stats` (EXPLAIN ANALYZE sets this per call).
+        self.collect_stats = False
+        self.last_statement_stats = None
 
     # ------------------------------------------------------------------
     # public API
@@ -399,19 +407,91 @@ class Database:
         raise BindError(f"cannot execute {type(statement).__name__}")
 
     def _run_select(self, statement):
+        if self.collect_stats:
+            __, rows, columns, __stats = self._run_instrumented(statement)
+            return ResultSet(columns, rows)
         planner = Planner(self, Runtime(self))
         plan = planner.plan_select_statement(statement)
         columns = [name for __, name in plan.columns]
         return ResultSet(columns, list(plan.rows()))
 
+    def _run_instrumented(self, statement, sql_text=None):
+        """Plan and execute a SELECT with full observability.
+
+        Returns ``(plan, rows, columns, stats)``.  CTE materialization
+        happens during planning in this engine, so the planner is handed
+        the stats object *before* planning — each CTE's sub-plan is
+        instrumented and recorded in ``stats.cte_plans`` as it runs.
+        Engine metrics are force-enabled for the duration so index-probe
+        and lock-wait counters are populated even when the global registry
+        is off.
+        """
+        stats = ExecutionStats(sql_text)
+        pool = self.buffer_pool
+        was_enabled = ENGINE_METRICS.enabled
+        ENGINE_METRICS.enabled = True
+        hits0, misses0, evictions0 = pool.hits, pool.misses, pool.evictions
+        probes0 = ENGINE_METRICS.value("index.probes")
+        ranges0 = ENGINE_METRICS.value("index.range_scans")
+        waits0 = ENGINE_METRICS.value("lock.wait_seconds")
+        start = perf_counter()
+        try:
+            planner = Planner(self, Runtime(self))
+            planner.stats = stats
+            plan = planner.plan_select_statement(statement)
+            instrument_plan(plan, stats)
+            rows = list(plan.rows())
+        finally:
+            ENGINE_METRICS.enabled = was_enabled
+        stats.elapsed_s = perf_counter() - start
+        stats.rows_returned = len(rows)
+        stats.page_hits = pool.hits - hits0
+        stats.page_misses = pool.misses - misses0
+        stats.page_evictions = pool.evictions - evictions0
+        stats.index_probes = ENGINE_METRICS.value("index.probes") - probes0
+        stats.index_range_scans = (
+            ENGINE_METRICS.value("index.range_scans") - ranges0
+        )
+        stats.lock_wait_s = ENGINE_METRICS.value("lock.wait_seconds") - waits0
+        self.last_statement_stats = stats
+        columns = [name for __, name in plan.columns]
+        return plan, rows, columns, stats
+
     def _run_explain(self, statement):
         inner = statement.statement
         if not isinstance(inner, ast.SelectStatement):
-            raise BindError("EXPLAIN supports SELECT statements only")
-        planner = Planner(self, Runtime(self))
-        plan = planner.plan_select_statement(inner)
-        text = op.explain_plan(plan)
-        return ResultSet(["plan"], [(line,) for line in text.splitlines()])
+            raise BindError(
+                "EXPLAIN ANALYZE supports SELECT statements only"
+                if statement.analyze
+                else "EXPLAIN supports SELECT statements only"
+            )
+        if not statement.analyze:
+            planner = Planner(self, Runtime(self))
+            plan = planner.plan_select_statement(inner)
+            text = op.explain_plan(plan)
+            return ResultSet(["plan"], [(line,) for line in text.splitlines()])
+        plan, __rows, __columns, stats = self._run_instrumented(inner)
+        lines = []
+        for cte_name, cte_plan in stats.cte_plans:
+            lines.append(f"CTE {cte_name}:")
+            lines.extend(
+                render_analyzed_plan(cte_plan, stats, 1).splitlines()
+            )
+        lines.extend(render_analyzed_plan(plan, stats).splitlines())
+        lines.append(
+            f"Execution: {stats.rows_returned} rows in "
+            f"{stats.elapsed_s * 1000:.3f}ms"
+        )
+        lines.append(
+            f"Buffer pool: {stats.page_hits} hits, {stats.page_misses} "
+            f"misses, {stats.page_evictions} evictions"
+        )
+        lines.append(
+            f"Indexes: {stats.index_probes} probes, "
+            f"{stats.index_range_scans} range scans"
+        )
+        lines.append(f"Locks: {stats.lock_wait_s * 1000:.3f}ms wait")
+        return ResultSet(["plan"], [(line,) for line in lines])
 
     def _run_insert(self, statement, transaction):
         table = self.catalog.get_table(statement.table)

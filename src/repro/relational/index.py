@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import bisect
 
+from repro.obs.metrics import ENGINE_METRICS
 from repro.relational.errors import ConstraintError
+
+# index access counters (only touched when ENGINE_METRICS is enabled)
+_PROBES = ENGINE_METRICS.counter("index.probes")
+_RANGE_SCANS = ENGINE_METRICS.counter("index.range_scans")
 
 
 class _TotalOrderKey:
@@ -132,6 +137,8 @@ class HashIndex(Index):
             del self._buckets[key]
 
     def lookup(self, key):
+        if ENGINE_METRICS.enabled:
+            _PROBES.inc()
         return self._buckets.get(key, ())
 
     def distinct_keys(self):
@@ -178,6 +185,8 @@ class SortedIndex(Index):
             lo += 1
 
     def lookup(self, key):
+        if ENGINE_METRICS.enabled:
+            _PROBES.inc()
         order = total_order_key(key)
         lo = bisect.bisect_left(self._entries, (order,))
         rids = []
@@ -188,6 +197,8 @@ class SortedIndex(Index):
 
     def range_scan(self, low=None, high=None, low_inclusive=True, high_inclusive=True):
         """Yield RIDs with keys in the given (partially open) range."""
+        if ENGINE_METRICS.enabled:
+            _RANGE_SCANS.inc()
         if low is not None:
             low_order = total_order_key(low)
             if low_inclusive:

@@ -10,8 +10,15 @@ lock sets and for transactions that pre-declare their tables.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 
+from repro.obs.metrics import ENGINE_METRICS
 from repro.relational.errors import LockTimeoutError
+
+# lock contention counters (only touched when ENGINE_METRICS is enabled)
+_WAIT_SECONDS = ENGINE_METRICS.counter("lock.wait_seconds")
+_ACQUISITIONS = ENGINE_METRICS.counter("lock.acquisitions")
+_TIMEOUTS = ENGINE_METRICS.counter("lock.timeouts")
 
 
 class ReadWriteLock:
@@ -26,11 +33,17 @@ class ReadWriteLock:
 
     def acquire_read(self, timeout=None):
         with self._condition:
+            started = perf_counter() if ENGINE_METRICS.enabled else None
             ok = self._condition.wait_for(
                 lambda: not self._writer and self._waiting_writers == 0,
                 timeout=timeout,
             )
+            if started is not None:
+                _WAIT_SECONDS.inc(perf_counter() - started)
+                _ACQUISITIONS.inc()
             if not ok:
+                if started is not None:
+                    _TIMEOUTS.inc()
                 raise LockTimeoutError(f"read lock timeout on {self.name!r}")
             self._readers += 1
 
@@ -43,12 +56,18 @@ class ReadWriteLock:
     def acquire_write(self, timeout=None):
         with self._condition:
             self._waiting_writers += 1
+            started = perf_counter() if ENGINE_METRICS.enabled else None
             try:
                 ok = self._condition.wait_for(
                     lambda: not self._writer and self._readers == 0,
                     timeout=timeout,
                 )
+                if started is not None:
+                    _WAIT_SECONDS.inc(perf_counter() - started)
+                    _ACQUISITIONS.inc()
                 if not ok:
+                    if started is not None:
+                        _TIMEOUTS.inc()
                     raise LockTimeoutError(f"write lock timeout on {self.name!r}")
                 self._writer = True
             finally:

@@ -1,14 +1,25 @@
-"""Physical plan operators.
+"""Physical plan operators for the SQL subset SQLGraph's translator emits.
+
+The operator set mirrors what the paper's Table 8 query templates need at
+execution time: index/sequential scans over the adjacency tables (OPA/IPA
+with OSA/ISA spill, paper §3.2) and attribute tables (VA/EA, §3.3), UNNEST
+for exploding adjacency column triads, hash and index-nested-loop joins
+for adjacency hops, plus the projection / filter / distinct / sort /
+aggregate / set operators the Gremlin pipes compile into (§4).
 
 Each operator exposes:
 
 * ``columns`` — output schema as a list of ``(qualifier, name)`` pairs,
 * ``est_rows`` — the planner's cardinality estimate,
-* ``rows()`` — an iterator of output tuples.
+* ``rows()`` — an iterator of output tuples,
+* ``children_ops()`` / ``describe()`` — plan-tree introspection, used by
+  EXPLAIN and by ``repro.obs.stats.instrument_plan`` for EXPLAIN ANALYZE.
 
 Streaming operators (scan, filter, project, unnest, union-all, limit) are
 generators; blocking operators (hash join build side, sort, distinct,
-aggregate, set ops) materialize what they must.
+aggregate, set ops) materialize what they must.  Instrumentation shadows
+``rows`` with an instance attribute on the plan being analyzed, so the
+uninstrumented path pays nothing.
 """
 
 from __future__ import annotations

@@ -1,5 +1,13 @@
 """Binder + planner: turn parsed statements into physical operator trees.
 
+This is the optimizer the paper delegates to when it says "the relational
+engine does the work" (SQLGraph, SIGMOD 2015, §4): the translator emits one
+``WITH ... SELECT`` per Gremlin pipeline (Table 8 templates) and relies on
+this layer for access-path selection and join ordering.  The CTE-heavy plan
+shapes it must handle well are exactly those of the paper's Figures 3/6
+traversal queries (chains of adjacency CTEs) and Figure 4 attribute lookups
+(``JSON_VAL`` expression indexes, §3.4).
+
 The planner is statistics-driven but deliberately simple:
 
 * single-table conjuncts are pushed into scans, with access-path selection
@@ -7,9 +15,17 @@ The planner is statistics-driven but deliberately simple:
   ``IS NOT NULL``, sequential scan otherwise);
 * joins are ordered greedily from the smallest filtered leaf, preferring
   index nested-loop joins into base tables when the probe side is small and
-  hash joins otherwise;
+  hash joins otherwise (the ``index_probe_cost`` planner option moves the
+  crossover, modelling the paper's RAM vs. disk regimes of Figure 8);
 * CTEs are materialized once, in definition order; ``WITH RECURSIVE`` is
-  evaluated semi-naively with set semantics and an iteration guard.
+  evaluated semi-naively with set semantics and an iteration guard (the
+  translator's recursive-loop fallback, §4.3).
+
+Observability: when :attr:`Planner.stats` is set to an
+:class:`repro.obs.stats.ExecutionStats`, every non-recursive CTE sub-plan
+is instrumented before materialization and recorded in ``stats.cte_plans``
+— this is how ``EXPLAIN ANALYZE`` sees inside the translator's CTE
+pipelines even though CTEs run at plan time in this engine.
 
 Correlated subqueries are not supported (the Gremlin translator never emits
 them); IN/EXISTS/scalar subqueries are evaluated once, lazily.
@@ -72,6 +88,8 @@ class Planner:
     def __init__(self, database, runtime=None):
         self.database = database
         self.runtime = runtime if runtime is not None else Runtime(database)
+        #: optional ExecutionStats; when set, CTE sub-plans are instrumented
+        self.stats = None
 
     # ------------------------------------------------------------------
     # expression compilation helpers
@@ -226,6 +244,11 @@ class Planner:
                 f"CTE {name!r} declares {len(columns)} columns but query "
                 f"produces {len(plan.columns)}"
             )
+        if self.stats is not None:
+            from repro.obs.stats import instrument_plan
+
+            instrument_plan(plan, self.stats)
+            self.stats.cte_plans.append((name, plan))
         self.runtime.ctes[name] = (columns, list(plan.rows()))
 
     def _materialize_recursive_cte(self, cte):

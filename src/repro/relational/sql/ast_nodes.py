@@ -150,4 +150,11 @@ class DropTableStatement:
 
 @dataclass
 class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    ``analyze`` executes the inner statement (discarding its result rows)
+    and annotates the plan with actual row counts and timings.
+    """
+
     statement: object
+    analyze: bool = False

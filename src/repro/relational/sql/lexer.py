@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.relational.errors import SqlSyntaxError
 
 KEYWORDS = {
-    "ALL", "AND", "ANY", "AS", "ASC", "BETWEEN", "BOOLEAN", "BY", "CASE",
+    "ALL", "ANALYZE", "AND", "ANY", "AS", "ASC", "BETWEEN", "BOOLEAN", "BY", "CASE",
     "CAST", "COUNT", "CREATE", "CROSS", "DELETE", "DESC", "DISTINCT", "DOUBLE",
     "DROP", "ELSE", "END", "ESCAPE", "EXCEPT", "EXISTS", "EXPLAIN", "FALSE", "FROM",
     "FULL", "GROUP", "HAVING", "IF", "IN", "INDEX", "INNER", "INSERT", "INT",

@@ -96,7 +96,8 @@ class _Parser:
     # ------------------------------------------------------------------
     def parse_statement(self):
         if self.accept_keyword("EXPLAIN"):
-            return ast.ExplainStatement(self.parse_statement())
+            analyze = self.accept_keyword("ANALYZE") is not None
+            return ast.ExplainStatement(self.parse_statement(), analyze=analyze)
         if self.check_keyword("SELECT", "WITH") or self.check_op("("):
             return self.parse_select_statement()
         if self.check_keyword("INSERT"):

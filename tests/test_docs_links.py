@@ -1,0 +1,62 @@
+"""The docs-link checker passes on the repo and catches planted drift."""
+
+import pathlib
+import subprocess
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_docs_links  # noqa: E402
+
+
+def test_repo_docs_are_clean():
+    report = check_docs_links.run()
+    assert report == {}, f"dead doc references: {report}"
+
+
+def test_cli_commands_extracted():
+    commands = check_docs_links.cli_commands()
+    assert {":translate", ":explain", ":analyze", ":sql", ":stats",
+            ":help", ":quit"} <= commands
+
+
+def test_detects_dead_markdown_link(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [here](no/such/file.py) for details\n")
+    problems = check_docs_links.check_file(doc, set())
+    assert problems == ["dead link: (no/such/file.py)"]
+
+
+def test_detects_missing_file_reference(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("look at `src/repro/nonexistent.py` sometime\n")
+    problems = check_docs_links.check_file(doc, set())
+    assert problems == ["missing file reference: `src/repro/nonexistent.py`"]
+
+
+def test_detects_unknown_cli_command(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("type `:frobnicate` in the shell\n")
+    problems = check_docs_links.check_file(doc, {":stats"})
+    assert len(problems) == 1
+    assert ":frobnicate" in problems[0]
+
+
+def test_known_cli_command_and_external_links_ok(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "type `:stats` — docs at [site](https://example.com) "
+        "and [anchor](#section)\n"
+    )
+    assert check_docs_links.check_file(doc, {":stats"}) == []
+
+
+def test_command_line_entry_point():
+    result = subprocess.run(
+        [sys.executable, str(TOOLS / "check_docs_links.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK" in result.stdout

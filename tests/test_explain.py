@@ -64,6 +64,87 @@ class TestExplain:
         assert "MaterializedScan" in text
 
 
+class TestExplainAnalyze:
+    def _plan_text(self, database, sql):
+        result = database.execute("EXPLAIN ANALYZE " + sql)
+        assert result.columns == ["plan"]
+        return "\n".join(row[0] for row in result.rows)
+
+    def test_actual_rows_match_real_results(self):
+        database = make_db()
+        sql = "SELECT v FROM t WHERE v = 3"
+        expected = len(database.execute(sql).rows)
+        assert expected == 60  # 300 rows, v = i % 5
+        text = self._plan_text(database, sql)
+        assert f"Execution: {expected} rows" in text
+        # the root operator produced exactly the result rows
+        first_line = text.splitlines()[0]
+        assert f"actual_rows={expected}" in first_line
+        assert "time=" in first_line
+
+    def test_annotates_every_operator(self):
+        database = make_db()
+        text = self._plan_text(
+            database, "SELECT t.v FROM t, u WHERE t.id = u.t_id"
+        )
+        for line in text.splitlines():
+            if "est_rows=" in line:
+                assert "actual_rows=" in line or "never executed" in line
+
+    def test_zero_row_query(self):
+        database = make_db()
+        text = self._plan_text(database, "SELECT v FROM t WHERE id = -1")
+        assert "Execution: 0 rows" in text
+        assert "actual_rows=0" in text.splitlines()[0]
+
+    def test_summary_counters_present(self):
+        database = make_db()
+        text = self._plan_text(database, "SELECT COUNT(*) FROM t")
+        assert "Buffer pool:" in text
+        assert "Indexes:" in text
+        assert "Locks:" in text
+
+    def test_reports_index_probes(self):
+        database = make_db()
+        text = self._plan_text(database, "SELECT v FROM t WHERE id = 5")
+        probes = [
+            line for line in text.splitlines() if line.startswith("Indexes:")
+        ]
+        assert len(probes) == 1
+        count = int(probes[0].split()[1])
+        assert count >= 1
+
+    def test_cte_sections_rendered(self):
+        database = make_db()
+        text = self._plan_text(
+            database,
+            "WITH x AS (SELECT id FROM t) SELECT COUNT(*) FROM x",
+        )
+        assert "CTE x:" in text
+        # the CTE's own operators carry actuals too
+        cte_start = text.index("CTE x:")
+        cte_body = text[cte_start:].splitlines()[1]
+        assert "actual_rows=300" in cte_body
+
+    def test_analyze_executes(self):
+        database = make_db()
+        database.execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM t")
+        assert database.execute("SELECT COUNT(*) FROM t").scalar() == 300
+
+    def test_analyze_dml_rejected_with_message(self):
+        database = make_db()
+        with pytest.raises(BindError, match="SELECT statements only"):
+            database.execute("EXPLAIN ANALYZE DELETE FROM t")
+
+    def test_metrics_toggle_restored(self):
+        from repro.obs.metrics import ENGINE_METRICS
+
+        database = make_db()
+        assert ENGINE_METRICS.enabled is False
+        database.execute("EXPLAIN ANALYZE SELECT v FROM t WHERE id = 5")
+        assert ENGINE_METRICS.enabled is False
+
+
 class TestPlannerOptions:
     def test_high_probe_cost_prefers_hash_join(self):
         cheap_probe = make_db()

@@ -1,0 +1,272 @@
+"""Tests for the observability layer: metrics registry, execution stats,
+page-cache accounting, translation traces, and store-level query stats."""
+
+import pytest
+
+from repro.graph.model import PropertyGraph
+from repro.core.store import SQLGraphStore
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimingHistogram,
+    ENGINE_METRICS,
+)
+from repro.relational import Database
+
+
+@pytest.fixture(autouse=True)
+def clean_engine_metrics():
+    """Keep the process-global registry disabled and zeroed around tests."""
+    ENGINE_METRICS.disable()
+    ENGINE_METRICS.reset()
+    yield
+    ENGINE_METRICS.disable()
+    ENGINE_METRICS.reset()
+
+
+def small_store(**kwargs):
+    graph = PropertyGraph()
+    for i in range(1, 5):
+        graph.add_vertex(i, {"name": f"v{i}", "rank": i})
+    graph.add_edge(1, 2, "knows", 10)
+    graph.add_edge(2, 3, "knows", 11)
+    graph.add_edge(3, 4, "knows", 12)
+    store = SQLGraphStore(**kwargs)
+    store.load_graph(graph)
+    return store
+
+
+class TestRegistry:
+    def test_counter_inc_and_reset(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("x") == 5
+        registry.reset()
+        assert registry.value("x") == 0
+
+    def test_counter_float_increments(self):
+        counter = Counter("t")
+        counter.inc(0.25)
+        counter.inc(0.25)
+        assert counter.value == 0.5
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_name_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_value_of_unknown_metric_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_snapshot_flat(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c").inc(2)
+        histogram = registry.histogram("h")
+        histogram.observe(0.001)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 2
+        assert snapshot["h.count"] == 1
+        assert snapshot["h.total_s"] == pytest.approx(0.001)
+
+    def test_timer_disabled_observes_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        with registry.time("stage"):
+            pass
+        assert registry.histogram("stage").count == 0
+
+    def test_timer_enabled_observes(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.time("stage"):
+            pass
+        assert registry.histogram("stage").count == 1
+
+
+class TestHistogram:
+    def test_mean_and_bounds(self):
+        histogram = TimingHistogram("h")
+        for seconds in (0.001, 0.002, 0.003):
+            histogram.observe(seconds)
+        assert histogram.count == 3
+        assert histogram.mean() == pytest.approx(0.002)
+        assert histogram.minimum == pytest.approx(0.001)
+        assert histogram.maximum == pytest.approx(0.003)
+
+    def test_quantile_upper_bound(self):
+        histogram = TimingHistogram("h")
+        for __ in range(100):
+            histogram.observe(0.001)
+        # the 1ms observations land in the bucket bounded above by ~1.024ms
+        assert 0.001 <= histogram.quantile(0.95) <= 0.002
+
+    def test_empty_quantile(self):
+        assert TimingHistogram("h").quantile(0.5) == 0.0
+
+
+class TestDisabledFastPath:
+    def test_disabled_engine_records_nothing(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        database.execute("SELECT * FROM t WHERE id = 1")
+        assert ENGINE_METRICS.value("pages.hits") == 0
+        assert ENGINE_METRICS.value("index.probes") == 0
+        assert ENGINE_METRICS.value("lock.acquisitions") == 0
+
+    def test_enabled_engine_records(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        database.execute("INSERT INTO t VALUES (1)")
+        ENGINE_METRICS.enable()
+        database.execute("SELECT * FROM t WHERE id = 1")
+        assert ENGINE_METRICS.value("pages.hits") > 0
+        assert ENGINE_METRICS.value("index.probes") >= 1
+        assert ENGINE_METRICS.value("lock.acquisitions") >= 1
+
+
+class TestPageCacheAccounting:
+    def test_hit_miss_deltas_in_execution_stats(self):
+        # 1-page pool, 3-page table (256 rows/page) forces misses
+        database = Database(buffer_pool_pages=1)
+        database.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+        for i in range(600):
+            database.execute("INSERT INTO t VALUES (?, ?)", [i, i])
+        database.collect_stats = True
+        database.execute("SELECT COUNT(*) FROM t")
+        stats = database.last_statement_stats
+        assert stats.page_hits + stats.page_misses > 0
+        assert stats.page_misses > 0  # 1-page pool can't hold the table
+        # pool-level counters and per-query deltas agree in kind
+        assert database.buffer_pool.misses >= stats.page_misses
+
+    def test_warm_pool_is_all_hits(self):
+        database = Database()  # unbounded pool
+        database.execute("CREATE TABLE t (id INTEGER)")
+        database.execute("INSERT INTO t VALUES (1)")
+        database.execute("SELECT * FROM t")  # warm
+        database.collect_stats = True
+        database.execute("SELECT * FROM t")
+        stats = database.last_statement_stats
+        assert stats.page_misses == 0
+        assert stats.page_hits > 0
+
+
+class TestExecutionStats:
+    def test_operator_actuals_recorded(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER)")
+        for i in range(7):
+            database.execute("INSERT INTO t VALUES (?)", [i])
+        database.collect_stats = True
+        result = database.execute("SELECT id FROM t")
+        assert len(result.rows) == 7
+        stats = database.last_statement_stats
+        assert stats.rows_returned == 7
+        # root ProjectOp emitted exactly the returned rows
+        assert any(
+            entry.rows_out == 7 for entry in stats.operators.values()
+        )
+        assert stats.elapsed_s > 0
+
+    def test_as_dict_round_trip(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER)")
+        database.collect_stats = True
+        database.execute("SELECT * FROM t")
+        payload = database.last_statement_stats.as_dict()
+        assert payload["rows_returned"] == 0
+        assert set(payload) >= {
+            "elapsed_s", "page_hits", "page_misses", "index_probes",
+        }
+
+
+class TestTranslationTrace:
+    def test_trace_counts_ctes_and_templates(self):
+        store = small_store()
+        store.translate("g.V.out('knows').name")
+        trace = store.translator.last_trace
+        assert trace.cte_count >= 3
+        assert any("g.V start" in event for event in trace.events)
+        assert any("property(name)" in event for event in trace.events)
+
+    def test_graphquery_merge_counted(self):
+        store = small_store()
+        store.translate("g.V.has('name', 'v1')")
+        assert store.translator.last_trace.graphquery_merges >= 1
+
+    def test_loop_unroll_counted(self):
+        store = small_store()
+        store.translate("g.V.out('knows').loop(1){it.loops < 3}.name")
+        trace = store.translator.last_trace
+        assert trace.loop_unrolls == 1
+        assert any("unrolled" in event for event in trace.events)
+
+    def test_describe_mentions_cte_count(self):
+        store = small_store()
+        store.translate("g.V.name")
+        description = store.translator.last_trace.describe()
+        assert "CTE" in description.splitlines()[0]
+
+
+class TestStoreQueryStats:
+    def test_last_query_stats_populated(self):
+        store = small_store()
+        values = store.run("g.V.out('knows').name")
+        stats = store.last_query_stats
+        assert stats.gremlin == "g.V.out('knows').name"
+        assert stats.rows_returned == len(values)
+        assert stats.translate_s > 0
+        assert stats.elapsed_s >= stats.translate_s
+        assert stats.trace is not None
+        assert stats.execution.page_hits + stats.execution.page_misses > 0
+
+    def test_page_cache_deltas_without_collect_stats(self):
+        store = small_store()
+        store.run("g.V.name")  # warm
+        store.run("g.V.name")
+        execution = store.last_query_stats.execution
+        assert execution.page_misses == 0
+        assert execution.page_hits > 0
+
+    def test_operator_stats_adopted_when_collecting(self):
+        store = small_store()
+        store.database.collect_stats = True
+        store.run("g.V.out('knows').name")
+        execution = store.last_query_stats.execution
+        assert execution.operators  # per-operator actuals present
+        assert execution.cte_plans  # translated query ran through CTEs
+
+    def test_slow_query_log_threshold(self):
+        store = small_store(slow_query_threshold=0.0)
+        store.run("g.V.name")
+        assert len(store.slow_query_log) == 1
+        entry = store.slow_query_log[0]
+        assert entry["gremlin"] == "g.V.name"
+        assert entry["threshold_s"] == 0.0
+        assert entry["trace"]["cte_count"] >= 1
+        assert "elapsed_s" in entry
+
+    def test_slow_query_log_disabled_by_default(self):
+        store = small_store()
+        store.run("g.V.name")
+        assert store.slow_query_log == []
+
+    def test_slow_query_log_bounded(self):
+        store = small_store(slow_query_threshold=0.0)
+        store.SLOW_QUERY_LOG_LIMIT = 5
+        for __ in range(8):
+            store.run("g.V.name")
+        assert len(store.slow_query_log) == 5
