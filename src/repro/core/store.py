@@ -19,11 +19,29 @@ from time import perf_counter
 from repro.core.loader import SQLGraphLoader
 from repro.core.procedures import GraphProcedures
 from repro.core.schema import attribute_index_ddl
-from repro.core.translator import GremlinTranslator
+from repro.core.translator import (
+    GremlinTranslator,
+    bind_parameters,
+    parameterize_query,
+    strip_parameter_markers,
+)
 from repro.graph.blueprints import Direction, GraphInterface
+from repro.gremlin.errors import GremlinError
 from repro.gremlin.parser import parse_gremlin
 from repro.obs.stats import ExecutionStats, QueryStats
+from repro.relational.cache import LRUCache, resolve_capacity
 from repro.relational.database import Database
+
+
+class _CompiledTemplate:
+    """Translation-cache entry: parameterized SQL + binding recipe."""
+
+    __slots__ = ("sql", "recipe", "trace")
+
+    def __init__(self, sql, recipe, trace):
+        self.sql = sql
+        self.recipe = recipe
+        self.trace = trace
 
 
 class SQLGraphStore(GraphInterface):
@@ -36,15 +54,26 @@ class SQLGraphStore(GraphInterface):
     :param slow_query_threshold: seconds; Gremlin queries whose total
         (translate + execute) time meets the threshold are appended to
         :attr:`slow_query_log` as structured dicts.  ``None`` disables.
+    :param plan_cache_size: prepared-statement cache capacity for the
+        underlying database (0 disables; ``None`` = environment default).
+    :param translation_cache_size: Gremlin template cache capacity
+        (0 disables; ``None`` = environment default).
     """
 
     #: slow_query_log keeps at most this many entries (oldest dropped).
     SLOW_QUERY_LOG_LIMIT = 100
 
     def __init__(self, buffer_pool_pages=None, max_columns=None, client=None,
-                 planner_options=None, slow_query_threshold=None):
+                 planner_options=None, slow_query_threshold=None,
+                 plan_cache_size=None, translation_cache_size=None):
         self.database = Database(
-            buffer_pool_pages, planner_options=planner_options
+            buffer_pool_pages, planner_options=planner_options,
+            plan_cache_size=plan_cache_size,
+        )
+        #: Gremlin template -> translated SQL + parameter binding recipe
+        self.translation_cache = LRUCache(
+            resolve_capacity(translation_cache_size),
+            metrics_prefix="translation_cache",
         )
         self.max_columns = max_columns
         self.client = client
@@ -73,6 +102,8 @@ class SQLGraphStore(GraphInterface):
         )
         self.schema = self.loader.load(graph)
         self.translator = GremlinTranslator(self.schema)
+        # cached templates reference the previous schema's table layout
+        self.translation_cache.invalidate_all()
         self.procedures = GraphProcedures(
             self.database,
             self.schema,
@@ -157,16 +188,20 @@ class SQLGraphStore(GraphInterface):
         :attr:`slow_query_threshold` seconds land in :attr:`slow_query_log`.
         """
         started = perf_counter()
-        sql = self.translate(gremlin_text)
+        sql, params, trace, translation_hit = self._compile(gremlin_text)
         translated = perf_counter()
-        stats = QueryStats(
-            gremlin_text, sql, trace=self.translator.last_trace
-        )
+        stats = QueryStats(gremlin_text, sql, trace=trace)
         stats.translate_s = translated - started
+        stats.translation_cache_hit = translation_hit
         self._charge_round_trip()
         pool = self.database.buffer_pool
         hits0, misses0, evictions0 = pool.hits, pool.misses, pool.evictions
-        result = self.database.execute(sql)
+        result = self.database.execute(sql, params)
+        stats.plan_cache_hit = self.database.last_statement_cache_hit
+        stats.cache_stats = {
+            "plan_cache": self.database.plan_cache.stats(),
+            "translation_cache": self.translation_cache.stats(),
+        }
         stats.elapsed_s = perf_counter() - started
         stats.rows_returned = len(result.rows)
         if self.database.collect_stats and self.database.last_statement_stats:
@@ -192,9 +227,40 @@ class SQLGraphStore(GraphInterface):
         if len(self.slow_query_log) > self.SLOW_QUERY_LOG_LIMIT:
             del self.slow_query_log[: -self.SLOW_QUERY_LOG_LIMIT]
 
+    def _compile(self, gremlin_text):
+        """Gremlin text → ``(sql, params, trace, translation_cache_hit)``.
+
+        Warm path: parse the pipeline, extract its literals into a
+        parameter vector, and look up the translated SQL by template shape
+        — only a miss pays for translation.  With the cache disabled the
+        legacy literal translation runs unchanged.
+        """
+        query = parse_gremlin(gremlin_text)
+        if not self.translation_cache.enabled:
+            sql = self.translator.translate(query)
+            self.queries_translated += 1
+            return sql, None, self.translator.last_trace, False
+        template, values, key = parameterize_query(query)
+        epoch = self.database.schema_epoch
+        entry = self.translation_cache.get(key, epoch=epoch)
+        if entry is None:
+            marked_sql = self.translator.translate(template)
+            sql, recipe = strip_parameter_markers(marked_sql)
+            entry = _CompiledTemplate(sql, recipe, self.translator.last_trace)
+            self.translation_cache.put(key, entry, epoch=epoch)
+            self.queries_translated += 1
+            return entry.sql, bind_parameters(values, entry.recipe), entry.trace, False
+        return entry.sql, bind_parameters(values, entry.recipe), entry.trace, True
+
     def run(self, gremlin_text):
         """Run a Gremlin query; returns the list of result values."""
         result = self.query(gremlin_text)
+        if "val" not in result.columns:
+            available = ", ".join(result.columns) or "no columns"
+            raise GremlinError(
+                f"query produced no 'val' column to unwrap "
+                f"(result columns: {available}); use query() for raw rows"
+            )
         position = result.columns.index("val")
         return [row[position] for row in result.rows]
 

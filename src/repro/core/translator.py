@@ -38,6 +38,8 @@ was taken — see docs/OBSERVABILITY.md.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.gremlin import closures as cl
 from repro.gremlin import pipes as p
 from repro.gremlin.errors import UnsupportedPipeError
@@ -52,8 +54,32 @@ _TRAVERSAL_PIPES = (p.Adjacent, p.IncidentEdges, p.EdgeVertex, p.LoopPipe)
 _MERGEABLE_FILTERS = (p.HasPipe, p.HasNotPipe, p.IntervalPipe)
 
 
+class ParamLiteral:
+    """Placeholder for an extracted query literal (template parameter).
+
+    :func:`parameterize_query` replaces literals in a parsed pipeline with
+    these sentinels; the translator renders them as ``{?slot}`` markers,
+    which :func:`strip_parameter_markers` later converts to SQL ``?``
+    placeholders while recording the binding order.
+    """
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot):
+        self.slot = slot
+
+    @property
+    def marker(self):
+        return "{?%d}" % self.slot
+
+    def __repr__(self):
+        return f"<?{self.slot}>"
+
+
 def sql_literal(value):
     """Render a Python value as a SQL literal."""
+    if isinstance(value, ParamLiteral):
+        return value.marker
     if value is None:
         return "NULL"
     if isinstance(value, bool):
@@ -63,6 +89,13 @@ def sql_literal(value):
     if isinstance(value, str):
         return "'" + value.replace("'", "''") + "'"
     raise UnsupportedPipeError(f"cannot render literal {value!r}")
+
+
+def _render_id(value):
+    """Render a vertex/edge id (coerced to int unless parameterized)."""
+    if isinstance(value, ParamLiteral):
+        return value.marker
+    return str(int(value))
 
 
 class GremlinTranslator:
@@ -186,7 +219,7 @@ class _Translation:
             table = self.names["va"]
             conditions = ["p.vid >= 0"]
             if pipe.ids:
-                rendered = ", ".join(str(int(i)) for i in pipe.ids)
+                rendered = ", ".join(_render_id(i) for i in pipe.ids)
                 conditions.append(f"p.vid IN ({rendered})")
             if pipe.key is not None:
                 conditions.append(
@@ -213,7 +246,7 @@ class _Translation:
         table = self.names["ea"]
         conditions = ["p.eid >= 0"]
         if pipe.ids:
-            rendered = ", ".join(str(int(i)) for i in pipe.ids)
+            rendered = ", ".join(_render_id(i) for i in pipe.ids)
             conditions.append(f"p.eid IN ({rendered})")
         if pipe.key is not None:
             conditions.append(
@@ -935,3 +968,168 @@ def _walk_closure(node):
         child = getattr(node, attr, None)
         if isinstance(child, cl.ClosureNode):
             yield from _walk_closure(child)
+
+
+# ----------------------------------------------------------------------
+# template parameterization (compiled-query cache front end)
+# ----------------------------------------------------------------------
+# Literal *data* values in a pipeline (vertex ids, has() values, interval
+# bounds, closure constants ...) are extracted into a parameter vector so
+# queries that differ only in those values share one translation.  Values
+# that shape the generated SQL stay literal: labels (adjacency predicates),
+# range() positions (LIMIT arithmetic), loop() conditions (unroll bounds),
+# string-method arguments (embedded in LIKE patterns), None (IS NULL
+# branches) and booleans.
+
+_PARAM_TYPES = (int, float, str)
+
+
+def _parameterizable(value):
+    return isinstance(value, _PARAM_TYPES) and not isinstance(value, bool)
+
+
+def parameterize_query(query):
+    """Split a parsed GremlinQuery into a template and a parameter vector.
+
+    Returns ``(template, values, key)`` where *template* is a copy of the
+    query with extracted literals replaced by :class:`ParamLiteral`
+    sentinels, *values* is the extracted literal vector (indexed by
+    sentinel slot), and *key* is a deterministic cache key identifying the
+    template shape.  The input query is never mutated.
+    """
+    values = []
+
+    def slot(value):
+        values.append(value)
+        return ParamLiteral(len(values) - 1)
+
+    pipes = [_parameterize_pipe(pipe, slot) for pipe in query.pipes]
+    return p.GremlinQuery(pipes), values, repr(pipes)
+
+
+def _parameterize_pipe(pipe, slot):
+    if isinstance(pipe, (p.StartVertices, p.StartEdges)):
+        changes = {}
+        if pipe.ids:
+            changes["ids"] = [slot(int(i)) for i in pipe.ids]
+        if pipe.key is not None and _parameterizable(pipe.value):
+            changes["value"] = slot(pipe.value)
+        return dataclasses.replace(pipe, **changes) if changes else pipe
+    if isinstance(pipe, p.HasPipe):
+        if not pipe.exists_only and _parameterizable(pipe.value):
+            return dataclasses.replace(pipe, value=slot(pipe.value))
+        return pipe
+    if isinstance(pipe, p.IntervalPipe):
+        changes = {}
+        if _parameterizable(pipe.low):
+            changes["low"] = slot(pipe.low)
+        if _parameterizable(pipe.high):
+            changes["high"] = slot(pipe.high)
+        return dataclasses.replace(pipe, **changes) if changes else pipe
+    if isinstance(pipe, (p.ExceptPipe, p.RetainPipe)):
+        if pipe.values and all(_parameterizable(v) for v in pipe.values):
+            return dataclasses.replace(
+                pipe, values=tuple(slot(v) for v in pipe.values)
+            )
+        return pipe
+    if isinstance(pipe, p.FilterClosurePipe):
+        return dataclasses.replace(
+            pipe, closure=_parameterize_bool(pipe.closure, slot)
+        )
+    if isinstance(pipe, p.IfThenElsePipe):
+        return dataclasses.replace(
+            pipe,
+            condition=_parameterize_bool(pipe.condition, slot),
+            then_closure=_parameterize_value(pipe.then_closure, slot),
+            else_closure=_parameterize_value(pipe.else_closure, slot),
+        )
+    if isinstance(pipe, (p.AndPipe, p.OrPipe, p.CopySplitPipe)):
+        return dataclasses.replace(
+            pipe,
+            branches=[
+                [_parameterize_pipe(inner, slot) for inner in branch]
+                for branch in pipe.branches
+            ],
+        )
+    return pipe
+
+
+def _parameterize_bool(node, slot):
+    """Parameterize constants in a boolean-context closure."""
+    if isinstance(node, cl.BoolAnd):
+        return cl.BoolAnd(
+            _parameterize_bool(node.left, slot),
+            _parameterize_bool(node.right, slot),
+        )
+    if isinstance(node, cl.BoolOr):
+        return cl.BoolOr(
+            _parameterize_bool(node.left, slot),
+            _parameterize_bool(node.right, slot),
+        )
+    if isinstance(node, cl.BoolNot):
+        return cl.BoolNot(_parameterize_bool(node.operand, slot))
+    if isinstance(node, cl.Compare):
+        return cl.Compare(
+            node.op,
+            _parameterize_value(node.left, slot),
+            _parameterize_value(node.right, slot),
+        )
+    # StringMethod arguments are embedded into LIKE patterns; leave literal
+    return node
+
+
+def _parameterize_value(node, slot):
+    """Parameterize constants in a value-context closure."""
+    if isinstance(node, cl.Const) and _parameterizable(node.value):
+        return cl.Const(slot(node.value))
+    if isinstance(node, cl.Arith):
+        return cl.Arith(
+            node.op,
+            _parameterize_value(node.left, slot),
+            _parameterize_value(node.right, slot),
+        )
+    return node
+
+
+def strip_parameter_markers(sql):
+    """Convert ``{?slot}`` markers in *sql* to ``?`` placeholders.
+
+    Returns ``(clean_sql, recipe)`` where *recipe* lists the parameter-
+    vector slot feeding each ``?`` in textual order.  The same slot may
+    appear more than once (e.g. ``bothE`` renders a filter condition twice)
+    and slots may appear out of extraction order, so the recipe — not the
+    vector itself — defines the binding.  Single-quoted strings are skipped:
+    non-parameterized string literals could contain marker-like text.
+    """
+    out = []
+    recipe = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            out.append(sql[i:j + 1])
+            i = j + 1
+            continue
+        if ch == "{" and sql.startswith("{?", i):
+            end = sql.index("}", i)
+            recipe.append(int(sql[i + 2:end]))
+            out.append("?")
+            i = end + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), recipe
+
+
+def bind_parameters(values, recipe):
+    """Expand a parameter vector into positional SQL parameters."""
+    return [values[slot] for slot in recipe]

@@ -198,6 +198,13 @@ class QueryStats:
         self.translate_s = 0.0
         self.elapsed_s = 0.0
         self.rows_returned = 0
+        #: did this query reuse a cached Gremlin->SQL translation?
+        self.translation_cache_hit = False
+        #: did the engine reuse a cached prepared statement?
+        self.plan_cache_hit = False
+        #: point-in-time counter snapshots of both compiled-query caches
+        #: ({"plan_cache": {...}, "translation_cache": {...}})
+        self.cache_stats = None
 
     def as_dict(self):
         return {
@@ -206,6 +213,9 @@ class QueryStats:
             "translate_s": self.translate_s,
             "elapsed_s": self.elapsed_s,
             "rows_returned": self.rows_returned,
+            "translation_cache_hit": self.translation_cache_hit,
+            "plan_cache_hit": self.plan_cache_hit,
+            "cache_stats": self.cache_stats,
             "trace": self.trace.as_dict() if self.trace else None,
             "execution": self.execution.as_dict() if self.execution else None,
         }

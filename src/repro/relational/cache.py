@@ -1,0 +1,150 @@
+"""Bounded LRU caches for compiled queries.
+
+Two caches in the engine are built on :class:`LRUCache`:
+
+* the **prepared-statement cache** in :class:`repro.relational.Database`
+  (normalized SQL text -> parsed AST + lock sets), and
+* the **translation cache** in :class:`repro.core.SQLGraphStore`
+  (Gremlin template key -> parameterized SQL + binding recipe).
+
+Entries are stamped with the database's *schema epoch* at insertion time.
+Any DDL (``CREATE TABLE``, ``CREATE INDEX``, ``DROP TABLE`` — and therefore
+``create_attribute_index`` and ``reorganize()``, which go through DDL) bumps
+the epoch, so a lookup that finds an entry from an older epoch drops it and
+reports a miss.  This keeps cached plans honest without the caches having to
+know *what* changed.
+
+Capacity knobs (also see :func:`resolve_capacity`):
+
+* ``REPRO_PLAN_CACHE=0`` disables both caches (every lookup misses and
+  nothing is stored) — used by CI to keep the uncached path honest.
+* ``REPRO_PLAN_CACHE_SIZE=<n>`` bounds each cache to *n* entries
+  (default 256); least-recently-used entries are evicted.
+
+Each cache keeps always-on integer counters (``hits``/``misses``/
+``invalidations``) and mirrors them into :data:`repro.obs.metrics.ENGINE_METRICS`
+under ``<prefix>.hits`` etc. when the registry is enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+from repro.obs.metrics import ENGINE_METRICS
+
+DEFAULT_CAPACITY = 256
+
+_FALSEY = {"0", "false", "off", "no"}
+
+
+def cache_enabled():
+    """False when ``REPRO_PLAN_CACHE`` disables the compiled-query caches."""
+    return os.environ.get("REPRO_PLAN_CACHE", "1").strip().lower() not in _FALSEY
+
+
+def resolve_capacity(explicit=None):
+    """Resolve a cache capacity from an explicit value or the environment.
+
+    ``explicit`` wins when given (0 disables).  Otherwise the environment
+    decides: ``REPRO_PLAN_CACHE=0`` yields 0, else ``REPRO_PLAN_CACHE_SIZE``
+    (default :data:`DEFAULT_CAPACITY`).
+    """
+    if explicit is not None:
+        return max(0, int(explicit))
+    if not cache_enabled():
+        return 0
+    raw = os.environ.get("REPRO_PLAN_CACHE_SIZE", "")
+    try:
+        return max(0, int(raw)) if raw.strip() else DEFAULT_CAPACITY
+    except ValueError:
+        return DEFAULT_CAPACITY
+
+
+class LRUCache:
+    """Thread-safe bounded LRU map with epoch validation and counters.
+
+    ``capacity`` of 0 disables the cache entirely; ``None`` means unbounded.
+    ``get``/``put`` take an optional ``epoch``: entries stored under a
+    different epoch are treated as invalidated on lookup.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, metrics_prefix=None):
+        self.capacity = capacity
+        self.metrics_prefix = metrics_prefix
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self):
+        return self.capacity != 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, key, epoch=None):
+        """Return the cached value, or None on miss / stale epoch."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and epoch is not None and entry[0] != epoch:
+                del self._entries[key]
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                self.misses += 1
+                self._mirror("misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._mirror("hits")
+            return entry[1]
+
+    def put(self, key, value, epoch=None):
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (epoch, value)
+            self._entries.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            self._mirror_size()
+
+    def invalidate_all(self):
+        """Drop every entry (counted as invalidations)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            if dropped:
+                self._mirror("invalidations", dropped)
+            self._mirror_size()
+        return dropped
+
+    def reset_counters(self):
+        with self._lock:
+            self.hits = self.misses = self.invalidations = 0
+
+    def stats(self):
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def _mirror(self, name, amount=1):
+        if self.metrics_prefix and ENGINE_METRICS.enabled:
+            ENGINE_METRICS.counter(f"{self.metrics_prefix}.{name}").inc(amount)
+
+    def _mirror_size(self):
+        if self.metrics_prefix and ENGINE_METRICS.enabled:
+            ENGINE_METRICS.gauge(f"{self.metrics_prefix}.size").set(
+                len(self._entries)
+            )

@@ -15,6 +15,7 @@ from repro.obs.metrics import ENGINE_METRICS
 from repro.obs.stats import ExecutionStats, instrument_plan, render_analyzed_plan
 from repro.relational import expressions as ex
 from repro.relational import operators as op
+from repro.relational.cache import LRUCache, resolve_capacity
 from repro.relational.errors import BindError, CatalogError, TransactionError
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.locks import LockManager
@@ -141,16 +142,41 @@ class Transaction:
         self.held.clear()
 
 
+class PreparedStatement:
+    """A compiled statement ready for repeated execution.
+
+    CTEs in this engine are materialized during planning, so "the plan" for
+    a fresh execution is data as much as structure — what can be shared
+    across executions is the parsed AST (immutable once cached; the planner
+    is copy-on-write) plus the precomputed lock sets.  :meth:`plan` is the
+    operator-tree factory: it re-binds the current parameter vector and
+    produces a fresh tree without re-lexing, re-parsing or re-analyzing.
+    """
+
+    __slots__ = ("statement", "read_tables", "write_tables")
+
+    def __init__(self, statement, read_tables, write_tables):
+        self.statement = statement
+        self.read_tables = read_tables
+        self.write_tables = write_tables
+
+    def plan(self, database, params=None):
+        """Build an executable operator tree for one parameter binding."""
+        return database._planner(params).plan_select_statement(self.statement)
+
+
 class Database:
     """An in-process relational database.
 
     :param buffer_pool_pages: LRU buffer pool capacity in pages
         (``None`` = unbounded).
     :param lock_timeout: seconds to wait for a table lock.
+    :param plan_cache_size: prepared-statement cache capacity (0 disables;
+        ``None`` = ``REPRO_PLAN_CACHE``/``REPRO_PLAN_CACHE_SIZE`` env).
     """
 
     def __init__(self, buffer_pool_pages=None, lock_timeout=30.0,
-                 planner_options=None):
+                 planner_options=None, plan_cache_size=None):
         self.buffer_pool = BufferPool(buffer_pool_pages)
         self.catalog = Catalog(self.buffer_pool)
         self.functions = ex.default_functions()
@@ -158,6 +184,15 @@ class Database:
         self.planner_options = dict(planner_options or {})
         self._local = threading.local()
         self.statements_executed = 0
+        #: monotonic counter bumped by every DDL statement; prepared plans
+        #: cached under an older epoch are invalid.
+        self.schema_epoch = 0
+        self.plan_cache = LRUCache(
+            resolve_capacity(plan_cache_size), metrics_prefix="plan_cache"
+        )
+        #: whether the most recent execute() reused a cached prepared
+        #: statement (observability; see QueryStats.plan_cache_hit).
+        self.last_statement_cache_hit = False
         #: when True, every SELECT is executed with operator instrumentation
         #: and the resulting :class:`~repro.obs.stats.ExecutionStats` lands in
         #: :attr:`last_statement_stats` (EXPLAIN ANALYZE sets this per call).
@@ -172,11 +207,14 @@ class Database:
         self.functions[name.lower()] = fn
 
     def execute(self, sql, params=None):
-        """Parse, plan, lock and run one SQL statement."""
-        statement = parse_statement(sql)
-        self._substitute_params(statement, params)
+        """Parse (or reuse a prepared statement), lock and run one SQL
+        statement.  ``params`` binds positional ``?`` placeholders for this
+        execution only; the cached AST is never mutated."""
+        prepared = self._prepare(sql)
+        statement = prepared.statement
         self.statements_executed += 1
-        read_tables, write_tables = self._lock_sets(statement)
+        read_tables = prepared.read_tables
+        write_tables = prepared.write_tables
         transaction = self.current_transaction()
         if transaction is not None:
             # skip locks the transaction already holds; upgrade read -> write
@@ -191,12 +229,41 @@ class Database:
             transaction.lock_tokens.append(token)
             held.update({name: "w" for name in writes})
             held.update({name: "r" for name in reads})
-            return self._dispatch(statement, transaction)
+            return self._dispatch(statement, transaction, params)
         token = self.locks.acquire(read_tables, write_tables)
         try:
-            return self._dispatch(statement, transaction)
+            return self._dispatch(statement, transaction, params)
         finally:
             LockManager.release(token)
+
+    def _prepare(self, sql):
+        """Parse + lock-analyze *sql*, going through the plan cache.
+
+        Entries are keyed by the normalized statement text and validated
+        against the current schema epoch, so any DDL since insertion forces
+        a re-parse (and re-derivation of lock sets against the new catalog).
+        """
+        key = sql.strip()
+        epoch = self.schema_epoch
+        prepared = self.plan_cache.get(key, epoch=epoch)
+        if prepared is not None:
+            self.last_statement_cache_hit = True
+            return prepared
+        self.last_statement_cache_hit = False
+        statement = parse_statement(sql)
+        read_tables, write_tables = self._lock_sets(statement)
+        prepared = PreparedStatement(statement, read_tables, write_tables)
+        self.plan_cache.put(key, prepared, epoch=epoch)
+        return prepared
+
+    def _planner(self, params=None):
+        """The one place planners are built (plan-cache re-bind hook)."""
+        return Planner(self, Runtime(self), params=params)
+
+    def _bump_schema_epoch(self):
+        """Invalidate every compiled plan after a schema change."""
+        self.schema_epoch += 1
+        self.plan_cache.invalidate_all()
 
     def transaction(self):
         """Context manager: commit on clean exit, rollback on exception."""
@@ -234,75 +301,6 @@ class Database:
             self.catalog.get_table(name).storage_bytes()
             for name in self.catalog.table_names()
         )
-
-    # ------------------------------------------------------------------
-    # parameter substitution
-    # ------------------------------------------------------------------
-    def _substitute_params(self, statement, params):
-        def fix(expression):
-            return ex.substitute_parameters(expression, params)
-
-        if isinstance(statement, ast.SelectStatement):
-            for cte in statement.ctes:
-                self._substitute_query(cte.query, params)
-            self._substitute_query(statement.body, params)
-            for item in statement.order_by:
-                item.expr = fix(item.expr)
-            if statement.limit is not None:
-                statement.limit = fix(statement.limit)
-            if statement.offset is not None:
-                statement.offset = fix(statement.offset)
-        elif isinstance(statement, ast.InsertStatement):
-            if statement.rows is not None:
-                for row in statement.rows:
-                    for i, expression in enumerate(row):
-                        row[i] = fix(expression)
-            if statement.query is not None:
-                self._substitute_params(statement.query, params)
-        elif isinstance(statement, ast.UpdateStatement):
-            statement.assignments = [
-                (column, fix(expression))
-                for column, expression in statement.assignments
-            ]
-            if statement.where is not None:
-                statement.where = fix(statement.where)
-        elif isinstance(statement, ast.DeleteStatement):
-            if statement.where is not None:
-                statement.where = fix(statement.where)
-
-    def _substitute_query(self, node, params):
-        if isinstance(node, ast.SetOp):
-            self._substitute_query(node.left, params)
-            self._substitute_query(node.right, params)
-            return
-        if not isinstance(node, ast.Select):
-            return
-        for item in node.items:
-            if item.expr is not None:
-                item.expr = ex.substitute_parameters(item.expr, params)
-        for from_item in node.from_items:
-            self._substitute_from(from_item, params)
-        if node.where is not None:
-            node.where = ex.substitute_parameters(node.where, params)
-        node.group_by = [
-            ex.substitute_parameters(expression, params)
-            for expression in node.group_by
-        ]
-        if node.having is not None:
-            node.having = ex.substitute_parameters(node.having, params)
-
-    def _substitute_from(self, item, params):
-        if isinstance(item, ast.Join):
-            self._substitute_from(item.left, params)
-            self._substitute_from(item.right, params)
-            if item.condition is not None:
-                item.condition = ex.substitute_parameters(item.condition, params)
-        elif isinstance(item, ast.SubquerySource):
-            self._substitute_query(item.query, params)
-        elif isinstance(item, ast.UnnestValues):
-            for row in item.rows:
-                for i, expression in enumerate(row):
-                    row[i] = ex.substitute_parameters(expression, params)
 
     # ------------------------------------------------------------------
     # lock analysis
@@ -387,17 +385,17 @@ class Database:
     # ------------------------------------------------------------------
     # statement dispatch
     # ------------------------------------------------------------------
-    def _dispatch(self, statement, transaction):
+    def _dispatch(self, statement, transaction, params=None):
         if isinstance(statement, ast.ExplainStatement):
-            return self._run_explain(statement)
+            return self._run_explain(statement, params)
         if isinstance(statement, ast.SelectStatement):
-            return self._run_select(statement)
+            return self._run_select(statement, params)
         if isinstance(statement, ast.InsertStatement):
-            return self._run_insert(statement, transaction)
+            return self._run_insert(statement, transaction, params)
         if isinstance(statement, ast.UpdateStatement):
-            return self._run_update(statement, transaction)
+            return self._run_update(statement, transaction, params)
         if isinstance(statement, ast.DeleteStatement):
-            return self._run_delete(statement, transaction)
+            return self._run_delete(statement, transaction, params)
         if isinstance(statement, ast.CreateTableStatement):
             return self._run_create_table(statement)
         if isinstance(statement, ast.CreateIndexStatement):
@@ -406,16 +404,17 @@ class Database:
             return self._run_drop_table(statement)
         raise BindError(f"cannot execute {type(statement).__name__}")
 
-    def _run_select(self, statement):
+    def _run_select(self, statement, params=None):
         if self.collect_stats:
-            __, rows, columns, __stats = self._run_instrumented(statement)
+            __, rows, columns, __stats = self._run_instrumented(
+                statement, params
+            )
             return ResultSet(columns, rows)
-        planner = Planner(self, Runtime(self))
-        plan = planner.plan_select_statement(statement)
+        plan = self._planner(params).plan_select_statement(statement)
         columns = [name for __, name in plan.columns]
         return ResultSet(columns, list(plan.rows()))
 
-    def _run_instrumented(self, statement, sql_text=None):
+    def _run_instrumented(self, statement, params=None, sql_text=None):
         """Plan and execute a SELECT with full observability.
 
         Returns ``(plan, rows, columns, stats)``.  CTE materialization
@@ -436,7 +435,7 @@ class Database:
         waits0 = ENGINE_METRICS.value("lock.wait_seconds")
         start = perf_counter()
         try:
-            planner = Planner(self, Runtime(self))
+            planner = self._planner(params)
             planner.stats = stats
             plan = planner.plan_select_statement(statement)
             instrument_plan(plan, stats)
@@ -457,7 +456,7 @@ class Database:
         columns = [name for __, name in plan.columns]
         return plan, rows, columns, stats
 
-    def _run_explain(self, statement):
+    def _run_explain(self, statement, params=None):
         inner = statement.statement
         if not isinstance(inner, ast.SelectStatement):
             raise BindError(
@@ -466,11 +465,10 @@ class Database:
                 else "EXPLAIN supports SELECT statements only"
             )
         if not statement.analyze:
-            planner = Planner(self, Runtime(self))
-            plan = planner.plan_select_statement(inner)
+            plan = self._planner(params).plan_select_statement(inner)
             text = op.explain_plan(plan)
             return ResultSet(["plan"], [(line,) for line in text.splitlines()])
-        plan, __rows, __columns, stats = self._run_instrumented(inner)
+        plan, __rows, __columns, stats = self._run_instrumented(inner, params)
         lines = []
         for cte_name, cte_plan in stats.cte_plans:
             lines.append(f"CTE {cte_name}:")
@@ -491,11 +489,19 @@ class Database:
             f"{stats.index_range_scans} range scans"
         )
         lines.append(f"Locks: {stats.lock_wait_s * 1000:.3f}ms wait")
+        cache = self.plan_cache.stats()
+        lines.append(
+            f"Plan cache: "
+            f"{'hit' if self.last_statement_cache_hit else 'miss'} "
+            f"({cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['invalidations']} invalidations, "
+            f"{cache['size']} entries)"
+        )
         return ResultSet(["plan"], [(line,) for line in lines])
 
-    def _run_insert(self, statement, transaction):
+    def _run_insert(self, statement, transaction, params=None):
         table = self.catalog.get_table(statement.table)
-        planner = Planner(self)
+        planner = self._planner(params)
         rows_to_insert = []
         if statement.rows is not None:
             for row_exprs in statement.rows:
@@ -503,7 +509,7 @@ class Database:
                     [planner.const_value(expression) for expression in row_exprs]
                 )
         else:
-            result = self._run_select(statement.query)
+            result = self._run_select(statement.query, params)
             rows_to_insert.extend(list(row) for row in result.rows)
         count = 0
         for values in rows_to_insert:
@@ -531,9 +537,9 @@ class Database:
             )
         return full
 
-    def _where_matches(self, table, where):
+    def _where_matches(self, table, where, params=None):
         """RIDs of rows matching *where* (index-assisted when possible)."""
-        planner = Planner(self)
+        planner = self._planner(params)
         columns = [(table.name, name) for name in table.schema.column_names]
         if where is None:
             return [(rid, row) for rid, row in table.scan()]
@@ -565,10 +571,10 @@ class Database:
                     return matches
         return [(rid, row) for rid, row in table.scan() if predicate(row)]
 
-    def _run_update(self, statement, transaction):
+    def _run_update(self, statement, transaction, params=None):
         table = self.catalog.get_table(statement.table)
-        matches = self._where_matches(table, statement.where)
-        planner = Planner(self)
+        matches = self._where_matches(table, statement.where, params)
+        planner = self._planner(params)
         columns = [(table.name, name) for name in table.schema.column_names]
         ctx = planner._ctx(columns)
         assignment_fns = [
@@ -587,9 +593,9 @@ class Database:
                 count += 1
         return ResultSet(rowcount=count)
 
-    def _run_delete(self, statement, transaction):
+    def _run_delete(self, statement, transaction, params=None):
         table = self.catalog.get_table(statement.table)
-        matches = self._where_matches(table, statement.where)
+        matches = self._where_matches(table, statement.where, params)
         count = 0
         for rid, __row in matches:
             old = table.delete(rid)
@@ -610,6 +616,7 @@ class Database:
         table = self.catalog.create_table(schema)
         if schema.primary_key is not None:
             self._create_pk_index(table, schema.primary_key)
+        self._bump_schema_epoch()
         return ResultSet()
 
     def _create_pk_index(self, table, column_name):
@@ -650,10 +657,13 @@ class Database:
                 statement.unique,
             )
         table.attach_index(index)
+        self._bump_schema_epoch()
         return ResultSet()
 
     def _run_drop_table(self, statement):
         dropped = self.catalog.drop_table(statement.name)
         if not dropped and not statement.if_exists:
             raise BindError(f"unknown table {statement.name!r}")
+        if dropped:
+            self._bump_schema_epoch()
         return ResultSet()

@@ -32,12 +32,17 @@ class CompileContext:
     :param functions: scalar function registry ``name -> callable``.
     :param subquery_executor: callable ``plan -> list[row]`` used by IN/EXISTS
         subqueries (installed by the planner).
+    :param params: positional parameter values for this execution; ``?``
+        placeholders bind against this vector at compile time, which lets a
+        cached (shared) AST be re-planned with fresh constants.
     """
 
-    def __init__(self, resolver, functions=None, subquery_executor=None):
+    def __init__(self, resolver, functions=None, subquery_executor=None,
+                 params=None):
         self.resolver = resolver
         self.functions = functions or {}
         self.subquery_executor = subquery_executor
+        self.params = params
 
 
 class Expression:
@@ -77,13 +82,28 @@ class Literal(Expression):
 
 
 class Parameter(Expression):
-    """A ``?`` placeholder; substituted with a Literal before planning."""
+    """A ``?`` placeholder, bound from ``CompileContext.params`` at compile
+    time.  The AST itself is never mutated, so prepared statements can be
+    re-executed with different parameter vectors."""
 
     def __init__(self, index):
         self.index = index
 
     def compile(self, ctx):
-        raise BindError("unbound parameter reached execution")
+        params = ctx.params
+        if params is None or self.index >= len(params):
+            have = 0 if params is None else len(params)
+            raise BindError(
+                f"statement requires parameter {self.index + 1}, got {have}"
+            )
+        value = params[self.index]
+        return lambda row: value
+
+    def fingerprint(self):
+        # parameters are per-execution constants; an identity fingerprint
+        # would let a plan structure leak across different bound values, so
+        # refuse (callers guard fingerprint() with try/except).
+        raise NotImplementedError("no fingerprint for Parameter")
 
     def __repr__(self):
         return f"Parameter({self.index})"

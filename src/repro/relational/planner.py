@@ -33,6 +33,8 @@ them); IN/EXISTS/scalar subqueries are evaluated once, lazily.
 
 from __future__ import annotations
 
+import copy
+
 from repro.relational import expressions as ex
 from repro.relational import operators as op
 from repro.relational.errors import BindError
@@ -85,9 +87,12 @@ def safe_fingerprint(expression):
 class Planner:
     """Plans one statement against a database + runtime."""
 
-    def __init__(self, database, runtime=None):
+    def __init__(self, database, runtime=None, params=None):
         self.database = database
         self.runtime = runtime if runtime is not None else Runtime(database)
+        #: positional parameter values for this execution (bound at
+        #: expression-compile time; the AST is shared and never mutated)
+        self.params = params
         #: optional ExecutionStats; when set, CTE sub-plans are instrumented
         self.stats = None
 
@@ -97,7 +102,8 @@ class Planner:
     def _ctx(self, columns):
         resolver = op.make_resolver(columns)
         return ex.CompileContext(
-            resolver, self.database.functions, self._execute_subquery
+            resolver, self.database.functions, self._execute_subquery,
+            params=self.params,
         )
 
     def _const_ctx(self):
@@ -105,7 +111,8 @@ class Planner:
             raise BindError(f"column {name!r} not allowed here")
 
         return ex.CompileContext(
-            resolver, self.database.functions, self._execute_subquery
+            resolver, self.database.functions, self._execute_subquery,
+            params=self.params,
         )
 
     def const_value(self, expression):
@@ -116,7 +123,7 @@ class Planner:
         return not expression.references()
 
     def _execute_subquery(self, statement_ast):
-        child = Planner(self.database, self.runtime)
+        child = Planner(self.database, self.runtime, params=self.params)
         plan = child.plan_select_statement(statement_ast)
         return list(plan.rows())
 
@@ -447,22 +454,36 @@ class Planner:
         return op.ProjectOp(agg_plan, value_fns, out_columns)
 
     def _rebuild_with_children(self, expression, transform):
-        """Apply *transform* to child expressions in place; return node."""
+        """Return a copy of *expression* with *transform* applied to child
+        expressions.  Copy-on-write (never mutate): the AST may live in the
+        prepared-statement cache and be re-planned for later executions."""
+        clone = None
+
+        def target():
+            nonlocal clone
+            if clone is None:
+                clone = copy.copy(expression)
+            return clone
+
         for attr in ("left", "right", "operand", "pattern", "otherwise"):
             child = getattr(expression, attr, None)
             if isinstance(child, ex.Expression):
-                setattr(expression, attr, transform(child))
+                setattr(target(), attr, transform(child))
         for attr in ("items", "args"):
             children = getattr(expression, attr, None)
             if isinstance(children, list):
-                for i, child in enumerate(children):
-                    if isinstance(child, ex.Expression):
-                        children[i] = transform(child)
+                setattr(target(), attr, [
+                    transform(child) if isinstance(child, ex.Expression)
+                    else child
+                    for child in children
+                ])
         whens = getattr(expression, "whens", None)
         if isinstance(whens, list):
-            for i, (cond, result) in enumerate(whens):
-                whens[i] = (transform(cond), transform(result))
-        return expression
+            target().whens = [
+                (transform(cond), transform(result))
+                for cond, result in whens
+            ]
+        return clone if clone is not None else expression
 
     # ------------------------------------------------------------------
     # FROM clause
@@ -511,7 +532,7 @@ class Planner:
         return op.SeqScan(table, alias)
 
     def _subquery_leaf(self, source):
-        child = Planner(self.database, self.runtime)
+        child = Planner(self.database, self.runtime, params=self.params)
         plan = child.plan_query_expr(source.query)
         alias = source.alias.lower()
         rows = list(plan.rows())
@@ -887,12 +908,13 @@ class Planner:
 
             return factory, est
         if isinstance(conjunct, ex.InList) and not conjunct.negated:
-            if not all(isinstance(item, ex.Literal) for item in conjunct.items):
+            # any constant item works (literals and bound parameters alike)
+            if not all(self._is_const(item) for item in conjunct.items):
                 return None
             index = table.find_index(conjunct.operand.fingerprint())
             if index is None:
                 return None
-            keys = [item.value for item in conjunct.items]
+            keys = [self.const_value(item) for item in conjunct.items]
             ndv = max(self._index_ndv(index), 1)
             est = max(1, len(keys) * table.live_rows // ndv)
 

@@ -73,13 +73,21 @@ def normalize_sql(values):
 
 
 def check_graph(graph, queries=QUERY_TEMPLATES):
+    """Interpreter vs translator, with the compiled-query cache exercised
+    in all three states: cold miss, warm hit, and fully disabled."""
     store = SQLGraphStore()
     store.load_graph(graph)
+    uncached = SQLGraphStore(plan_cache_size=0, translation_cache_size=0)
+    uncached.load_graph(graph)
     interpreter = GremlinInterpreter(graph)
     for text in queries:
         expected = normalize_interpreter(interpreter.run(parse_gremlin(text)))
         got = normalize_sql(store.run(text))
         assert got == expected, text
+        warm = normalize_sql(store.run(text))
+        assert warm == expected, f"warm cache hit diverged: {text}"
+        off = normalize_sql(uncached.run(text))
+        assert off == expected, f"uncached run diverged: {text}"
 
 
 class TestFixedSeeds:

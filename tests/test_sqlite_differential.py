@@ -141,12 +141,23 @@ def _compare(ours, theirs, query):
     mine = _normalize(ours.execute(query).rows)
     reference = _normalize(theirs.execute(query).fetchall())
     assert mine == reference, query
+    # second run re-executes the cached prepared statement (or, with the
+    # cache disabled, re-parses) — either way results must not drift
+    again = _normalize(ours.execute(query).rows)
+    assert again == reference, f"repeat execution diverged: {query}"
 
 
 class TestAgainstSqlite:
     @pytest.mark.parametrize("seed", range(5))
     def test_query_pool(self, seed):
         ours, theirs = _build_pair(seed)
+        for query in QUERIES:
+            _compare(ours, theirs, query)
+
+    def test_query_pool_plan_cache_disabled(self):
+        ours, theirs = _build_pair(11)
+        ours.plan_cache.capacity = 0
+        ours.plan_cache.invalidate_all()
         for query in QUERIES:
             _compare(ours, theirs, query)
 
