@@ -1,0 +1,108 @@
+"""Group-commit microbenchmark for the write-ahead log.
+
+An OLTP-style stream of single-row autocommit inserts is the worst case
+for a durable engine: every statement is its own commit point.  This
+benchmark measures the same insert stream under the three fsync modes:
+
+* **always** — one ``fsync`` per commit point (strict durability);
+* **group**  — commit points within one ``REPRO_WAL_GROUP_WINDOW_MS``
+  window share a single ``fsync`` (bounded-staleness durability);
+* **off**    — records are written but never synced (the ceiling: pure
+  WAL-append + engine cost, no durability).
+
+Writes ``benchmarks/results/BENCH_wal.json`` (throughputs, fsync counts,
+speedups) so the perf trajectory accumulates data over time, plus the
+usual paper-style text table.
+
+Acceptance: group commit must deliver at least 2x the throughput of
+fsync-per-commit on the same workload.
+"""
+
+import json
+import shutil
+import statistics
+from time import perf_counter
+
+from benchmarks.conftest import RESULTS_DIR, RUNS, record, scaled
+from repro.bench.reporting import format_table
+from repro.relational.database import Database
+
+INSERTS = 300
+REPEATS = max(3, RUNS // 2)
+
+
+def _run_stream(directory, mode, n_inserts):
+    """Time *n_inserts* autocommit inserts; returns (ops/s, wal stats)."""
+    database = Database(
+        path=str(directory), wal_fsync=mode, wal_checkpoint_every=0
+    )
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v STRING)")
+    start = perf_counter()
+    for i in range(n_inserts):
+        database.execute(f"INSERT INTO t VALUES ({i}, 'payload-{i}')")
+    elapsed = perf_counter() - start
+    stats = database.wal_stats()
+    count = database.execute("SELECT COUNT(*) FROM t").scalar()
+    database.close()
+    shutil.rmtree(directory)
+    assert count == n_inserts
+    return n_inserts / elapsed, stats
+
+
+def test_wal_group_commit(benchmark, tmp_path):
+    n_inserts = scaled(INSERTS)
+    throughputs = {"always": [], "group": [], "off": []}
+    fsyncs = {}
+    for attempt in range(REPEATS):
+        for mode in throughputs:
+            ops, stats = _run_stream(
+                tmp_path / f"{mode}{attempt}", mode, n_inserts
+            )
+            throughputs[mode].append(ops)
+            fsyncs[mode] = stats["fsyncs"]
+
+    # medians over repeats: one slow fsync outlier must not skew a mode
+    median = {m: statistics.median(ts) for m, ts in throughputs.items()}
+    speedup = median["group"] / median["always"]
+    ceiling = median["off"] / median["always"]
+
+    payload = {
+        "inserts_per_run": n_inserts,
+        "repeats": REPEATS,
+        "throughput_ops_per_s": {
+            mode: {
+                "median": median[mode],
+                "best": max(samples),
+            }
+            for mode, samples in throughputs.items()
+        },
+        "fsyncs_per_run": fsyncs,
+        "speedup_group_over_always": speedup,
+        "speedup_off_over_always": ceiling,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_wal.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    record(
+        "wal_group_commit",
+        format_table(
+            ["fsync mode", "ops/s (median)", "fsyncs/run"],
+            [
+                [mode, f"{median[mode]:,.0f}", fsyncs[mode]]
+                for mode in ("always", "group", "off")
+            ],
+            title=f"WAL group commit — {n_inserts} autocommit inserts "
+                  f"x{REPEATS} repeats (group {speedup:.2f}x over always)",
+        ),
+    )
+
+    # acceptance: batching commit points behind one fsync window must buy
+    # at least 2x over fsync-per-commit; assert conservatively so a noisy
+    # CI box cannot flake the suite
+    assert speedup >= 2.0, f"group commit speedup {speedup:.2f}x below 2x"
+    # group mode really did batch: far fewer fsyncs than commit points
+    assert fsyncs["group"] < fsyncs["always"] / 4
+
+    benchmark(lambda: _run_stream(tmp_path / "bench", "group", n_inserts))

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli --dataset tinker
     python -m repro.cli --dataset dbpedia --scale 0.5
     python -m repro.cli --dataset linkbench --query "g.V.count()"
+    python -m repro.cli --dataset tinker --path /tmp/graphdb
 
 Inside the shell, plain input is a Gremlin query; commands start with a
 colon::
@@ -16,6 +17,7 @@ colon::
     sqlgraph> :sql SELECT COUNT(*) FROM ea  -- raw SQL escape hatch
     sqlgraph> :stats                        -- table sizes, load report,
                                                last-query stats
+    sqlgraph> :checkpoint                   -- snapshot + truncate the WAL
     sqlgraph> :quit
 
 ``:explain`` and ``:analyze`` take a Gremlin query, translate it, and ask
@@ -23,6 +25,11 @@ the engine for the plan — ``:analyze`` additionally executes it and
 annotates every operator with actual row counts and wall time (see
 docs/OBSERVABILITY.md).  ``:stats`` appends the most recent query's
 translation trace and execution counters when one has run.
+
+``--path`` opens a durable store: the first run loads the dataset and
+every later run recovers the persisted graph (including any CRUD done in
+between) from the write-ahead log; ``:checkpoint`` forces a snapshot and
+``:stats`` shows the WAL counters (see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations
@@ -35,13 +42,13 @@ from repro.datasets import dbpedia, linkbench
 from repro.datasets.tinker import paper_figure_graph, tinkerpop_classic
 
 
-def build_store(dataset, scale=1.0):
-    """Create a SQLGraphStore loaded with the named dataset."""
+def build_graph(dataset, scale=1.0):
+    """Construct the named dataset's property graph."""
     if dataset == "tinker":
-        graph = paper_figure_graph()
-    elif dataset == "classic":
-        graph = tinkerpop_classic()
-    elif dataset == "dbpedia":
+        return paper_figure_graph()
+    if dataset == "classic":
+        return tinkerpop_classic()
+    if dataset == "dbpedia":
         config = dbpedia.DBpediaConfig(
             places=max(1, int(2000 * scale)),
             players=max(1, int(1200 * scale)),
@@ -49,14 +56,23 @@ def build_store(dataset, scale=1.0):
             persons=max(1, int(300 * scale)),
             artists=max(1, int(200 * scale)),
         )
-        graph = dbpedia.generate(config).graph
-    elif dataset == "linkbench":
+        return dbpedia.generate(config).graph
+    if dataset == "linkbench":
         config = linkbench.LinkBenchConfig(nodes=max(1, int(5000 * scale)))
-        graph = linkbench.build_graph(config).graph
-    else:
-        raise ValueError(f"unknown dataset {dataset!r}")
-    store = SQLGraphStore()
-    store.load_graph(graph)
+        return linkbench.build_graph(config).graph
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+def build_store(dataset, scale=1.0, path=None):
+    """Create a SQLGraphStore loaded with the named dataset.
+
+    With *path*, the store is durable: a directory that already holds a
+    recovered graph is used as-is (the dataset is only loaded on the very
+    first run against that path).
+    """
+    store = SQLGraphStore(path=path)
+    if store.schema is None:
+        store.load_graph(build_graph(dataset, scale))
     return store
 
 
@@ -117,8 +133,15 @@ def _execute_command(store, line):
             f"{report.incoming.spill_percentage:.2f}%"
         )
         lines.extend(_cache_lines(store))
+        lines.extend(_wal_lines(store))
         lines.extend(_last_query_lines(store))
         return "\n".join(lines)
+    if command == ":checkpoint":
+        if store.database.wal is None:
+            return "not a durable store (start with --path)"
+        taken = store.checkpoint()
+        return "checkpoint written" if taken else \
+            "checkpoint skipped (transactions active)"
     if command == ":help":
         return __doc__.strip()
     return f"unknown command {command!r} (try :help)"
@@ -158,6 +181,18 @@ def _cache_lines(store):
             f"{counters['size']} entries"
         )
     return lines
+
+
+def _wal_lines(store):
+    """Render WAL counters for :stats (empty for in-memory stores)."""
+    counters = store.database.wal_stats()
+    if counters is None:
+        return []
+    return [
+        f"wal: {counters['records']} records, {counters['fsyncs']} fsyncs "
+        f"({counters['fsync_mode']}), {counters['replayed']} replayed, "
+        f"{counters['checkpoints']} checkpoints"
+    ]
 
 
 def _last_query_lines(store):
@@ -203,30 +238,38 @@ def main(argv=None):
         "--query", default=None,
         help="run one Gremlin query and exit",
     )
+    parser.add_argument(
+        "--path", default=None,
+        help="directory for durable storage (WAL + checkpoints); "
+        "reopening recovers the persisted graph",
+    )
     args = parser.parse_args(argv)
 
-    store = build_store(args.dataset, args.scale)
-    if args.query is not None:
-        print(execute_line(store, args.query))
-        return 0
+    store = build_store(args.dataset, args.scale, path=args.path)
+    try:
+        if args.query is not None:
+            print(execute_line(store, args.query))
+            return 0
 
-    print(f"SQLGraph shell — dataset {args.dataset!r} "
-          f"({store.vertex_count()} vertices, {store.edge_count()} edges)")
-    print("enter Gremlin, or :help for commands")
-    while True:
-        try:
-            line = input("sqlgraph> ")
-        except EOFError:
-            print()
-            return 0
-        try:
-            output = execute_line(store, line)
-        except SystemExit:
-            return 0
-        except Exception as exc:  # surface, keep the shell alive
-            output = f"error: {type(exc).__name__}: {exc}"
-        if output:
-            print(output)
+        print(f"SQLGraph shell — dataset {args.dataset!r} "
+              f"({store.vertex_count()} vertices, {store.edge_count()} edges)")
+        print("enter Gremlin, or :help for commands")
+        while True:
+            try:
+                line = input("sqlgraph> ")
+            except EOFError:
+                print()
+                return 0
+            try:
+                output = execute_line(store, line)
+            except SystemExit:
+                return 0
+            except Exception as exc:  # surface, keep the shell alive
+                output = f"error: {type(exc).__name__}: {exc}"
+            if output:
+                print(output)
+    finally:
+        store.close()
 
 
 if __name__ == "__main__":

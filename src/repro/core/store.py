@@ -18,7 +18,7 @@ from time import perf_counter
 
 from repro.core.loader import SQLGraphLoader
 from repro.core.procedures import GraphProcedures
-from repro.core.schema import attribute_index_ddl
+from repro.core.schema import SQLGraphSchema, attribute_index_ddl
 from repro.core.translator import (
     GremlinTranslator,
     bind_parameters,
@@ -58,17 +58,30 @@ class SQLGraphStore(GraphInterface):
         underlying database (0 disables; ``None`` = environment default).
     :param translation_cache_size: Gremlin template cache capacity
         (0 disables; ``None`` = environment default).
+    :param path: directory for durable storage (``None`` = in-memory).
+        Reopening a path restores the loaded graph, colorings, attribute
+        indexes and id counters from the recovered database.
+    :param wal_fsync / wal_group_window_ms / wal_checkpoint_every:
+        durability knobs forwarded to :class:`~repro.relational.database.
+        Database` (see its docstring and ``REPRO_WAL_*`` env variables).
     """
 
     #: slow_query_log keeps at most this many entries (oldest dropped).
     SLOW_QUERY_LOG_LIMIT = 100
 
+    #: meta key the store's persistent state lives under in Database.meta
+    META_KEY = "sqlgraph"
+
     def __init__(self, buffer_pool_pages=None, max_columns=None, client=None,
                  planner_options=None, slow_query_threshold=None,
-                 plan_cache_size=None, translation_cache_size=None):
+                 plan_cache_size=None, translation_cache_size=None,
+                 path=None, wal_fsync=None, wal_group_window_ms=None,
+                 wal_checkpoint_every=None):
         self.database = Database(
             buffer_pool_pages, planner_options=planner_options,
-            plan_cache_size=plan_cache_size,
+            plan_cache_size=plan_cache_size, path=path,
+            wal_fsync=wal_fsync, wal_group_window_ms=wal_group_window_ms,
+            wal_checkpoint_every=wal_checkpoint_every,
         )
         #: Gremlin template -> translated SQL + parameter binding recipe
         self.translation_cache = LRUCache(
@@ -81,6 +94,12 @@ class SQLGraphStore(GraphInterface):
         self.loader = None
         self.translator = None
         self.procedures = None
+        self.out_coloring = None
+        self.in_coloring = None
+        #: :class:`~repro.core.loader.LoadReport` of the last load — kept
+        #: on the store (and persisted) because a reopened store has no
+        #: loader instance
+        self.load_report = None
         self._next_vertex_id = 1
         self._next_edge_id = 1
         self._attribute_indexes = []  # (element, key, sorted_index)
@@ -90,6 +109,8 @@ class SQLGraphStore(GraphInterface):
         #: :class:`repro.obs.stats.QueryStats` for the most recent
         #: ``query``/``run`` call (translation trace + execution counters).
         self.last_query_stats = None
+        if path is not None and self.database.get_meta(self.META_KEY):
+            self._restore_from_meta()
 
     # ------------------------------------------------------------------
     # loading
@@ -104,17 +125,21 @@ class SQLGraphStore(GraphInterface):
         self.translator = GremlinTranslator(self.schema)
         # cached templates reference the previous schema's table layout
         self.translation_cache.invalidate_all()
+        self.out_coloring = self.loader.out_coloring
+        self.in_coloring = self.loader.in_coloring
+        self.load_report = self.loader.report
         self.procedures = GraphProcedures(
             self.database,
             self.schema,
-            self.loader.out_coloring,
-            self.loader.in_coloring,
+            self.out_coloring,
+            self.in_coloring,
             lid_start=self.loader._next_lid,
         )
         vertex_ids = [vertex.id for vertex in graph.vertices()]
         edge_ids = [edge.id for edge in graph.edges()]
         self._next_vertex_id = max(vertex_ids, default=0) + 1
         self._next_edge_id = max(edge_ids, default=0) + 1
+        self._persist_meta()
         return self.loader.report
 
     def create_attribute_index(self, element, key, sorted_index=False):
@@ -123,6 +148,88 @@ class SQLGraphStore(GraphInterface):
             attribute_index_ddl(self.schema, element, key, sorted_index)
         )
         self._attribute_indexes.append((element, key, sorted_index))
+        self._persist_meta()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _persist_meta(self):
+        """Record store-level state in the database's durable meta store.
+
+        Row data recovers through the WAL; this carries the pieces that
+        live outside tables: schema dimensions, the fitted colorings, the
+        load report and the attribute-index list.  Id counters are *not*
+        persisted — they are recomputed from MAX(vid)/MAX(eid) and the
+        highest ``lid:<n>`` marker on reopen, which also covers CRUD
+        performed since the last call."""
+        if self.database.wal is None or self.schema is None:
+            return
+        self.database.put_meta(
+            self.META_KEY,
+            {
+                "out_columns": self.schema.out_columns,
+                "in_columns": self.schema.in_columns,
+                "prefix": self.schema.prefix,
+                "max_columns": self.max_columns,
+                "out_coloring": self.out_coloring,
+                "in_coloring": self.in_coloring,
+                "report": self.load_report,
+                "attribute_indexes": list(self._attribute_indexes),
+            },
+        )
+
+    def _restore_from_meta(self):
+        """Rebuild translator/procedures over a recovered database."""
+        state = self.database.get_meta(self.META_KEY)
+        self.max_columns = state["max_columns"]
+        self.schema = SQLGraphSchema(
+            state["out_columns"], state["in_columns"], state["prefix"]
+        )
+        self.out_coloring = state["out_coloring"]
+        self.in_coloring = state["in_coloring"]
+        self.load_report = state["report"]
+        self._attribute_indexes = list(state["attribute_indexes"])
+        self.translator = GremlinTranslator(self.schema)
+        self.procedures = GraphProcedures(
+            self.database,
+            self.schema,
+            self.out_coloring,
+            self.in_coloring,
+            lid_start=self._recover_lid_start(),
+        )
+        names = self.schema.table_names
+        max_vid = self.database.execute(
+            f"SELECT MAX(vid) FROM {names['va']}"
+        ).scalar()
+        max_eid = self.database.execute(
+            f"SELECT MAX(eid) FROM {names['ea']}"
+        ).scalar()
+        self._next_vertex_id = max(max_vid or 0, 0) + 1
+        self._next_edge_id = max(max_eid or 0, 0) + 1
+
+    def _recover_lid_start(self):
+        """Highest multi-value list id in use (from OSA/ISA markers)."""
+        highest = 0
+        names = self.schema.table_names
+        for key in ("osa", "isa"):
+            rows = self.database.execute(
+                f"SELECT valid FROM {names[key]}"
+            ).rows
+            for (valid,) in rows:
+                if isinstance(valid, str) and valid.startswith("lid:"):
+                    try:
+                        highest = max(highest, int(valid[4:]))
+                    except ValueError:
+                        pass
+        return highest
+
+    def checkpoint(self):
+        """Force a checkpoint of the underlying database (durable mode)."""
+        return self.database.checkpoint()
+
+    def close(self):
+        """Checkpoint and close the underlying database.  Idempotent."""
+        self.database.close()
 
     def export_graph(self):
         """Materialize the stored graph back into a PropertyGraph.
@@ -202,6 +309,7 @@ class SQLGraphStore(GraphInterface):
             "plan_cache": self.database.plan_cache.stats(),
             "translation_cache": self.translation_cache.stats(),
         }
+        stats.wal = self.database.wal_stats()
         stats.elapsed_s = perf_counter() - started
         stats.rows_returned = len(result.rows)
         if self.database.collect_stats and self.database.last_statement_stats:
@@ -362,7 +470,7 @@ class SQLGraphStore(GraphInterface):
         stats = {}
         for key, table_name in self.schema.table_names.items():
             stats[key] = self.database.table(table_name).live_rows
-        return {"rows": stats, "load": self.loader.report}
+        return {"rows": stats, "load": self.load_report}
 
     def storage_bytes(self):
         return self.database.storage_bytes()

@@ -205,6 +205,9 @@ class QueryStats:
         #: point-in-time counter snapshots of both compiled-query caches
         #: ({"plan_cache": {...}, "translation_cache": {...}})
         self.cache_stats = None
+        #: WAL counter snapshot (``Database.wal_stats()``); ``None`` for an
+        #: in-memory store
+        self.wal = None
 
     def as_dict(self):
         return {
@@ -216,6 +219,7 @@ class QueryStats:
             "translation_cache_hit": self.translation_cache_hit,
             "plan_cache_hit": self.plan_cache_hit,
             "cache_stats": self.cache_stats,
+            "wal": self.wal,
             "trace": self.trace.as_dict() if self.trace else None,
             "execution": self.execution.as_dict() if self.execution else None,
         }

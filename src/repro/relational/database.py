@@ -4,10 +4,17 @@
 statements return a :class:`ResultSet`; DML returns a ResultSet whose
 ``rowcount`` is set.  Statements run under table-level two-phase locking;
 ``Database.transaction()`` groups statements with undo-based rollback.
+
+Passing ``path=...`` makes the database *durable*: every mutation is
+written ahead to ``<path>/wal.log``, checkpoints snapshot the catalog to
+``<path>/snapshot.pkl``, and reopening the same path recovers exactly the
+committed state (see :mod:`repro.relational.wal` and
+:mod:`repro.relational.recovery`).
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from time import perf_counter
 
@@ -59,6 +66,10 @@ class Catalog:
     def __init__(self, buffer_pool):
         self._tables: dict[str, HeapTable] = {}
         self._pool = buffer_pool
+        #: WAL new tables report their mutations to (durable mode only)
+        self.wal = None
+        #: callable resolving the active transaction (undo capture)
+        self.txn_source = None
         buffer_pool.bind_catalog(self._tables.get)
 
     def create_table(self, schema):
@@ -66,6 +77,8 @@ class Catalog:
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         table = HeapTable(schema, self._pool)
+        table.wal = self.wal
+        table.txn_source = self.txn_source
         self._tables[name] = table
         return table
 
@@ -91,8 +104,11 @@ class Catalog:
 class Transaction:
     """Undo log + held locks for an explicit transaction."""
 
-    def __init__(self, database):
+    def __init__(self, database, txid=0):
         self.database = database
+        #: nonzero for durable databases; ops logged under this txid are
+        #: redone at recovery only if the matching COMMIT record survives
+        self.txid = txid
         self.undo = []  # (kind, table, rid, old_row)
         self.lock_tokens = []
         self.held = {}  # table name -> 'r' | 'w'
@@ -119,9 +135,27 @@ class Transaction:
         self.undo.append(("update", table, rid, old_row))
 
     def commit(self):
-        self._finish()
+        self._finish("commit")
 
     def rollback(self):
+        # Lock release must not depend on the undo loop succeeding: a
+        # failing compensation step would otherwise leave the table locks
+        # held forever (and the session wedged).  The undo runs with WAL
+        # logging paused — recovery simply skips loser transactions, so
+        # compensation writes must not reach the log.
+        if getattr(self.database._local, "txn", None) is self:
+            self.database._local.txn = None  # undo must not re-record
+        try:
+            wal = self.database.wal
+            if wal is not None:
+                with wal.pause():
+                    self._undo_all()
+            else:
+                self._undo_all()
+        finally:
+            self._finish("abort")
+
+    def _undo_all(self):
         for kind, table, rid, old_row in reversed(self.undo):
             if kind == "insert":
                 table.delete(rid)
@@ -129,17 +163,26 @@ class Transaction:
                 table.restore(rid, old_row)
             elif kind == "update":
                 table.update(rid, old_row, coerce=False)
-        self._finish()
 
-    def _finish(self):
+    def _finish(self, outcome):
         if not self.active:
             raise TransactionError("transaction already finished")
         self.active = False
-        for token in reversed(self.lock_tokens):
-            LockManager.release(token)
-        self.undo.clear()
-        self.lock_tokens.clear()
-        self.held.clear()
+        database = self.database
+        wal = database.wal
+        try:
+            if wal is not None and self.txid:
+                wal.set_txid(0)
+                if not wal.closed:
+                    wal.append(outcome, txid=self.txid)
+                    wal.commit_point()
+        finally:
+            for token in reversed(self.lock_tokens):
+                LockManager.release(token)
+            self.undo.clear()
+            self.lock_tokens.clear()
+            self.held.clear()
+            database._transaction_finished(self.txid)
 
 
 class PreparedStatement:
@@ -173,12 +216,25 @@ class Database:
     :param lock_timeout: seconds to wait for a table lock.
     :param plan_cache_size: prepared-statement cache capacity (0 disables;
         ``None`` = ``REPRO_PLAN_CACHE``/``REPRO_PLAN_CACHE_SIZE`` env).
+    :param path: directory for durable storage.  ``None`` (the default)
+        keeps the database purely in memory; a path enables write-ahead
+        logging, checkpoints and crash recovery on open.
+    :param wal_fsync: ``"always"`` | ``"group"`` | ``"off"``
+        (``None`` = ``REPRO_WAL_FSYNC`` env, default ``group``).
+    :param wal_group_window_ms: group-commit fsync window in milliseconds
+        (``None`` = ``REPRO_WAL_GROUP_WINDOW_MS`` env, default 5).
+    :param wal_checkpoint_every: auto-checkpoint after this many log
+        records (0 disables; ``None`` = ``REPRO_WAL_CHECKPOINT_EVERY``
+        env, default 10000).
     """
 
     def __init__(self, buffer_pool_pages=None, lock_timeout=30.0,
-                 planner_options=None, plan_cache_size=None):
+                 planner_options=None, plan_cache_size=None, path=None,
+                 wal_fsync=None, wal_group_window_ms=None,
+                 wal_checkpoint_every=None):
         self.buffer_pool = BufferPool(buffer_pool_pages)
         self.catalog = Catalog(self.buffer_pool)
+        self.catalog.txn_source = self.current_transaction
         self.functions = ex.default_functions()
         self.locks = LockManager(lock_timeout)
         self.planner_options = dict(planner_options or {})
@@ -198,6 +254,44 @@ class Database:
         #: :attr:`last_statement_stats` (EXPLAIN ANALYZE sets this per call).
         self.collect_stats = False
         self.last_statement_stats = None
+        #: durable key/value side-store (see :meth:`put_meta`); snapshotted
+        #: at checkpoints and carried through recovery
+        self.meta = {}
+        self.path = path
+        self.wal = None
+        self._next_txid = 1
+        self._active_txns = set()
+        self._txn_guard = threading.Lock()
+        self._wal_checkpoint_every = 0
+        if path is not None:
+            self._open_durable(
+                path, wal_fsync, wal_group_window_ms, wal_checkpoint_every
+            )
+
+    def _open_durable(self, path, wal_fsync, wal_group_window_ms,
+                      wal_checkpoint_every):
+        from repro.relational import recovery
+        from repro.relational.wal import WriteAheadLog, resolve_checkpoint_every
+
+        os.makedirs(path, exist_ok=True)
+        self._wal_checkpoint_every = resolve_checkpoint_every(
+            wal_checkpoint_every
+        )
+        # The WAL object exists (closed) during recovery so replay counters
+        # have somewhere to land; logging only starts once it is opened.
+        self.wal = WriteAheadLog(
+            recovery.wal_path(path), wal_fsync, wal_group_window_ms
+        )
+        valid_end, next_lsn = recovery.recover(self, path)
+        self.wal.open(append_at=valid_end, next_lsn=next_lsn)
+        self.catalog.wal = self.wal
+        for table in self.catalog._tables.values():
+            table.wal = self.wal
+            table.txn_source = self.catalog.txn_source
+        # Checkpoint immediately: the recovered state becomes the snapshot
+        # and the (possibly long, possibly torn) log is truncated, so txids
+        # from the previous incarnation can never collide with ours.
+        self.checkpoint()
 
     # ------------------------------------------------------------------
     # public API
@@ -213,6 +307,7 @@ class Database:
         prepared = self._prepare(sql)
         statement = prepared.statement
         self.statements_executed += 1
+        self._local.sql = sql.strip()
         read_tables = prepared.read_tables
         write_tables = prepared.write_tables
         transaction = self.current_transaction()
@@ -232,9 +327,23 @@ class Database:
             return self._dispatch(statement, transaction, params)
         token = self.locks.acquire(read_tables, write_tables)
         try:
-            return self._dispatch(statement, transaction, params)
+            result = self._dispatch(statement, transaction, params)
         finally:
             LockManager.release(token)
+        # Autocommit: the statement is the transaction, so its WAL records
+        # reach the commit point here (after the locks are gone — group
+        # commit may fsync, and a checkpoint may want those same locks).
+        wal = self.wal
+        if (
+            wal is not None
+            and not wal.closed
+            and not isinstance(
+                statement, (ast.SelectStatement, ast.ExplainStatement)
+            )
+        ):
+            wal.commit_point()
+            self._maybe_auto_checkpoint()
+        return result
 
     def _prepare(self, sql):
         """Parse + lock-analyze *sql*, going through the plan cache.
@@ -273,8 +382,10 @@ class Database:
             def __enter__(self):
                 if database.current_transaction() is not None:
                     raise TransactionError("nested transactions are not supported")
-                self.txn = Transaction(database)
+                self.txn = Transaction(database, database._begin_txid())
                 database._local.txn = self.txn
+                if database.wal is not None:
+                    database.wal.set_txid(self.txn.txid)
                 return self.txn
 
             def __exit__(self, exc_type, exc, tb):
@@ -289,6 +400,87 @@ class Database:
 
     def current_transaction(self):
         return getattr(self._local, "txn", None)
+
+    # ------------------------------------------------------------------
+    # durability (no-ops for in-memory databases)
+    # ------------------------------------------------------------------
+    def _begin_txid(self):
+        if self.wal is None:
+            return 0
+        with self._txn_guard:
+            txid = self._next_txid
+            self._next_txid += 1
+            self._active_txns.add(txid)
+        return txid
+
+    def _transaction_finished(self, txid):
+        if not txid:
+            return
+        with self._txn_guard:
+            self._active_txns.discard(txid)
+        self._maybe_auto_checkpoint()
+
+    def _maybe_auto_checkpoint(self):
+        wal = self.wal
+        if (
+            wal is not None
+            and not wal.closed
+            and self._wal_checkpoint_every
+            and wal.records_since_checkpoint >= self._wal_checkpoint_every
+        ):
+            self.checkpoint()
+
+    def checkpoint(self):
+        """Snapshot the catalog and truncate the log (durable mode only).
+
+        Checkpoints are quiescent: the call is skipped (returns ``False``)
+        while any explicit transaction is active, since the snapshot must
+        not contain uncommitted rows.  Otherwise every table is
+        write-locked, dirty pages are flushed, the snapshot is atomically
+        replaced and the WAL resets.  Returns ``True`` when taken.
+        """
+        if self.wal is None or self.wal.closed:
+            return False
+        with self._txn_guard:
+            if self._active_txns:
+                return False
+        from repro.relational import recovery
+
+        token = self.locks.acquire((), self.catalog.table_names())
+        try:
+            self.wal.sync()
+            recovery.write_snapshot(self, self.path)
+            self.wal.reset(self.wal.last_lsn)
+        finally:
+            LockManager.release(token)
+        return True
+
+    def put_meta(self, key, value):
+        """Durably store a key/value pair (non-transactional).
+
+        *value* must be picklable.  Meta writes are logged under txid 0,
+        so they survive a crash regardless of transaction outcomes.
+        """
+        wal = self.wal
+        if wal is not None and not wal.closed:
+            wal.append("meta", (key, value), txid=0)
+            wal.commit_point()
+        self.meta[key] = value
+
+    def get_meta(self, key, default=None):
+        return self.meta.get(key, default)
+
+    def wal_stats(self):
+        """WAL counters, or ``None`` for an in-memory database."""
+        return self.wal.stats() if self.wal is not None else None
+
+    def close(self):
+        """Checkpoint (if quiescent) and close the WAL.  Idempotent; a
+        no-op for in-memory databases."""
+        if self.wal is None or self.wal.closed:
+            return
+        self.checkpoint()
+        self.wal.close()
 
     def table(self, name):
         """Direct access to a heap table (bulk loaders bypass SQL)."""
@@ -514,9 +706,8 @@ class Database:
         count = 0
         for values in rows_to_insert:
             full = self._arrange_insert_values(table, statement.columns, values)
-            rid = table.insert(full)
-            if transaction is not None:
-                transaction.record_insert(table, rid)
+            # undo is recorded by the table itself (see HeapTable.insert)
+            table.insert(full)
             count += 1
         return ResultSet(rowcount=count)
 
@@ -586,10 +777,7 @@ class Database:
             new_row = list(row)
             for position, fn in assignment_fns:
                 new_row[position] = fn(row)
-            old = table.update(rid, new_row)
-            if old is not None:
-                if transaction is not None:
-                    transaction.record_update(table, rid, old)
+            if table.update(rid, new_row) is not None:
                 count += 1
         return ResultSet(rowcount=count)
 
@@ -598,10 +786,7 @@ class Database:
         matches = self._where_matches(table, statement.where, params)
         count = 0
         for rid, __row in matches:
-            old = table.delete(rid)
-            if old is not None:
-                if transaction is not None:
-                    transaction.record_delete(table, rid, old)
+            if table.delete(rid) is not None:
                 count += 1
         return ResultSet(rowcount=count)
 
@@ -617,9 +802,10 @@ class Database:
         if schema.primary_key is not None:
             self._create_pk_index(table, schema.primary_key)
         self._bump_schema_epoch()
+        self._log_ddl()
         return ResultSet()
 
-    def _create_pk_index(self, table, column_name):
+    def _create_pk_index(self, table, column_name, populate=False):
         position = table.schema.position(column_name)
         fingerprint = ex.ColumnRef(None, column_name).fingerprint()
         index = HashIndex(
@@ -629,7 +815,15 @@ class Database:
             fingerprint,
             unique=True,
         )
-        table.attach_index(index, populate=False)
+        table.attach_index(index, populate=populate)
+
+    def _log_ddl(self):
+        """Append the statement text of a successful DDL to the WAL."""
+        wal = self.wal
+        if wal is not None and wal.active:
+            sql = getattr(self._local, "sql", None)
+            if sql:
+                wal.append("ddl", sql, txid=0)
 
     def _run_create_index(self, statement):
         table = self.catalog.get_table(statement.table)
@@ -657,7 +851,11 @@ class Database:
                 statement.unique,
             )
         table.attach_index(index)
+        # remember the statement so checkpoint snapshots can rebuild the
+        # index (its key function is a compiled closure, never serialized)
+        index.ddl = getattr(self._local, "sql", None)
         self._bump_schema_epoch()
+        self._log_ddl()
         return ResultSet()
 
     def _run_drop_table(self, statement):
@@ -666,4 +864,5 @@ class Database:
             raise BindError(f"unknown table {statement.name!r}")
         if dropped:
             self._bump_schema_epoch()
+            self._log_ddl()
         return ResultSet()

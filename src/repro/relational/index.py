@@ -73,6 +73,10 @@ class Index:
         self.key_function = key_function
         self.fingerprint = fingerprint
         self.unique = unique
+        #: the CREATE INDEX statement that built this index, when there was
+        #: one — checkpoint snapshots replay it to rebuild the structure
+        #: (key functions are compiled closures and never serialized)
+        self.ddl = None
 
     def key_of(self, row):
         return self.key_function(row)

@@ -124,6 +124,17 @@ class BufferPool:
         while self._frames:
             self._evict_one()
 
+    def flush_all(self):
+        """Write back every dirty page, keeping all pages resident.
+
+        Checkpoints use this so the snapshot sees current page blobs
+        without paying the re-deserialization cost :meth:`clear` would.
+        """
+        for key, frame in self._frames.items():
+            if frame.dirty:
+                self._write_back(key, frame)
+                frame.dirty = False
+
     def _maybe_evict(self):
         if self.capacity_pages is None:
             return

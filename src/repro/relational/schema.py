@@ -162,3 +162,24 @@ class TableSchema:
         return tuple(
             coerce_value(value, col.type) for value, col in zip(values, self.columns)
         )
+
+    # ------------------------------------------------------------------
+    # durable snapshot form (see repro.relational.recovery) — plain
+    # dicts/strings so the on-disk format is independent of class layout
+    # ------------------------------------------------------------------
+    def describe(self):
+        """Portable description used by checkpoint snapshots."""
+        return {
+            "name": self.name,
+            "columns": [(col.name, col.type.value) for col in self.columns],
+            "primary_key": self.primary_key,
+        }
+
+    @classmethod
+    def from_description(cls, description):
+        """Rebuild a schema from :meth:`describe` output."""
+        columns = [
+            Column(name, ColumnType(type_name))
+            for name, type_name in description["columns"]
+        ]
+        return cls(description["name"], columns, description["primary_key"])

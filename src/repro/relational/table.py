@@ -23,6 +23,18 @@ class HeapTable:
         self._last_page_size = 0
         self.live_rows = 0
         self.indexes: dict[str, object] = {}
+        #: write-ahead log all mutations report to (None = in-memory only);
+        #: installed by the catalog of a durable database
+        self.wal = None
+        #: callable returning the active Transaction (or None); installed
+        #: by the catalog so undo is captured here — the same layer as WAL
+        #: logging — which covers bulk loaders and stored procedures that
+        #: mutate tables directly, not just SQL DML
+        self.txn_source = None
+
+    def _transaction(self):
+        source = self.txn_source
+        return source() if source is not None else None
 
     # ------------------------------------------------------------------
     # page-blob interface used by the buffer pool
@@ -74,6 +86,12 @@ class HeapTable:
         rows.append(row)
         self._last_page_size = slot + 1
         self.live_rows += 1
+        transaction = self._transaction()
+        if transaction is not None:
+            transaction.record_insert(self, rid)
+        wal = self.wal
+        if wal is not None and wal.active:
+            wal.log_op("insert", self.name, rid, row)
         return rid
 
     def get(self, rid):
@@ -93,6 +111,12 @@ class HeapTable:
             index.delete(rid, old)
         rows[slot] = None
         self.live_rows -= 1
+        transaction = self._transaction()
+        if transaction is not None:
+            transaction.record_delete(self, rid, old)
+        wal = self.wal
+        if wal is not None and wal.active:
+            wal.log_op("delete", self.name, rid, old)
         return old
 
     def update(self, rid, values, coerce=True):
@@ -106,6 +130,12 @@ class HeapTable:
         for index in self.indexes.values():
             index.update(rid, old, new_row)
         rows[slot] = new_row
+        transaction = self._transaction()
+        if transaction is not None:
+            transaction.record_update(self, rid, old)
+        wal = self.wal
+        if wal is not None and wal.active:
+            wal.log_op("update", self.name, rid, new_row, old)
         return old
 
     def restore(self, rid, row):
@@ -118,6 +148,74 @@ class HeapTable:
             index.insert(rid, row)
         rows[slot] = row
         self.live_rows += 1
+        transaction = self._transaction()
+        if transaction is not None:
+            transaction.record_insert(self, rid)
+        wal = self.wal
+        if wal is not None and wal.active:
+            wal.log_op("insert", self.name, rid, row)
+
+    # ------------------------------------------------------------------
+    # physical redo (crash recovery; see repro.relational.recovery)
+    # ------------------------------------------------------------------
+    def apply_insert(self, rid, row):
+        """Redo an insert at its original RID.
+
+        Unlike :meth:`insert` this honors *rid* exactly, growing pages and
+        leaving skipped slots as ``None`` tombstones — replay omits loser
+        transactions, so holes where their rows once sat are expected and
+        every RID embedded in a later record stays valid.
+        """
+        page_no, slot = rid
+        while self._page_count <= page_no:
+            self._blobs.append(None)
+            self._pool.add_page(self, self._page_count, [])
+            self._page_count += 1
+            self._last_page_size = 0
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        while len(rows) <= slot:
+            rows.append(None)
+        row = tuple(row)
+        old = rows[slot]
+        if old is not None:  # defensive: replay over a stale slot
+            for index in self.indexes.values():
+                index.delete(rid, old)
+            self.live_rows -= 1
+        for index in self.indexes.values():
+            index.insert(rid, row)
+        rows[slot] = row
+        self.live_rows += 1
+        if page_no == self._page_count - 1:
+            self._last_page_size = max(self._last_page_size, len(rows))
+
+    def apply_update(self, rid, row):
+        """Redo an update: replace the image at *rid*."""
+        page_no, slot = rid
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        old = rows[slot]
+        if old is None:
+            self.apply_insert(rid, row)
+            return
+        row = tuple(row)
+        for index in self.indexes.values():
+            index.update(rid, old, row)
+        rows[slot] = row
+
+    def apply_delete(self, rid):
+        """Redo a delete: tombstone the slot at *rid*."""
+        page_no, slot = rid
+        if page_no >= self._page_count:
+            return
+        rows = self._pool.fetch(self, page_no, for_write=True)
+        if slot >= len(rows):
+            return
+        old = rows[slot]
+        if old is None:
+            return
+        for index in self.indexes.values():
+            index.delete(rid, old)
+        rows[slot] = None
+        self.live_rows -= 1
 
     def scan(self):
         """Yield ``(rid, row)`` for every live row."""

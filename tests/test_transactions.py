@@ -1,5 +1,6 @@
 """Tests for transactions, undo rollback, and table locking."""
 
+import random
 import threading
 
 import pytest
@@ -7,6 +8,12 @@ import pytest
 from repro.relational import Database
 from repro.relational.errors import LockTimeoutError, TransactionError
 from repro.relational.locks import LockManager, ReadWriteLock
+from repro.relational.table import HeapTable
+from tests.crashkit import assert_states_equal, database_state
+
+
+class _Boom(RuntimeError):
+    """Sentinel raised to abort a transaction under test."""
 
 
 def make_db():
@@ -185,3 +192,210 @@ class TestLockManager:
         for thread in threads:
             thread.join()
         assert database.execute("SELECT COUNT(*) FROM t").scalar() == 82
+
+
+def property_db():
+    """A table with both a hash and a sorted secondary index, so rollback
+    has to restore three index structures besides the heap."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE kv (k INTEGER PRIMARY KEY, v STRING, n INTEGER)"
+    )
+    database.execute("CREATE INDEX kv_n ON kv (n)")
+    database.execute("CREATE INDEX kv_v ON kv (v) USING sorted")
+    return database
+
+
+class TestRollbackProperty:
+    """Property-based: any interleaving of committed and aborted
+    transactions must leave exactly the committed state — heap rows and
+    every secondary index entry (compared as multisets via
+    :func:`tests.crashkit.database_state`)."""
+
+    SEEDS = [1, 7, 2026]
+
+    def random_ops(self, rng, model, database):
+        """Run 1-6 random DML statements, mirroring them into *model*."""
+        for __ in range(rng.randint(1, 6)):
+            roll = rng.random()
+            if roll < 0.5 or not model:
+                key = rng.randint(0, 10_000)
+                while key in model:
+                    key += 1
+                value, n = f"v{rng.randint(0, 99)}", rng.randint(0, 9)
+                database.execute(
+                    "INSERT INTO kv VALUES (?, ?, ?)", [key, value, n]
+                )
+                model[key] = (value, n)
+            elif roll < 0.8:
+                key = rng.choice(sorted(model))
+                value = f"u{rng.randint(0, 99)}"
+                database.execute(
+                    "UPDATE kv SET v = ? WHERE k = ?", [value, key]
+                )
+                model[key] = (value, model[key][1])
+            else:
+                key = rng.choice(sorted(model))
+                database.execute("DELETE FROM kv WHERE k = ?", [key])
+                del model[key]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_interleavings_restore_state_exactly(self, seed):
+        rng = random.Random(seed)
+        database = property_db()
+        model = {}
+        for __ in range(25):
+            if rng.random() < 0.5:
+                with database.transaction():
+                    self.random_ops(rng, model, database)
+            else:
+                snapshot = database_state(database)
+                shadow = dict(model)  # aborted effects must not reach model
+                with pytest.raises(_Boom):
+                    with database.transaction():
+                        self.random_ops(rng, shadow, database)
+                        raise _Boom("abort")
+                assert_states_equal(
+                    database_state(database),
+                    snapshot,
+                    context=f"seed {seed}: abort left a trace",
+                )
+        rows = sorted(database.execute("SELECT k, v, n FROM kv").rows)
+        assert rows == sorted((k, v, n) for k, (v, n) in model.items())
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_secondary_indexes_answer_queries_after_aborts(self, seed):
+        """After a churn of aborts, point lookups through both secondary
+        indexes agree with a full scan — no stale or missing entries."""
+        rng = random.Random(seed + 1000)
+        database = property_db()
+        model = {}
+        for __ in range(15):
+            shadow = dict(model)
+            aborted = rng.random() < 0.5
+            if aborted:
+                with pytest.raises(_Boom):
+                    with database.transaction():
+                        self.random_ops(rng, shadow, database)
+                        raise _Boom("abort")
+            else:
+                with database.transaction():
+                    self.random_ops(rng, model, database)
+        for n in range(10):
+            want = sorted(k for k, (__, kn) in model.items() if kn == n)
+            got = sorted(
+                k for (k,) in database.execute(
+                    "SELECT k FROM kv WHERE n = ?", [n]
+                ).rows
+            )
+            assert got == want, f"seed {seed}: index kv_n diverged at n={n}"
+        for key, (value, __) in model.items():
+            got = database.execute(
+                "SELECT k FROM kv WHERE v = ?", [value]
+            ).rows
+            assert (key,) in got, f"seed {seed}: index kv_v lost k={key}"
+
+
+class TestStoreRollback:
+    """Rolling back graph procedures must restore the whole hybrid schema,
+    including ``lid:`` spill rows in the secondary adjacency tables."""
+
+    def test_rollback_restores_adjacency_spill_rows(self):
+        from repro.core import SQLGraphStore
+        from repro.datasets.random_graphs import random_property_graph
+
+        store = SQLGraphStore()
+        store.load_graph(
+            random_property_graph(seed=5, n_vertices=10, n_edges=15)
+        )
+        database = store.database
+        eid = store.add_edge(1, 2, "fanout")
+        before = database_state(database)
+        counts = (store.vertex_count(), store.edge_count())
+        osa = database.table(store.schema.table_names["osa"])
+        osa_rows_before = osa.live_rows
+
+        with pytest.raises(_Boom):
+            with database.transaction():
+                vid = store.add_vertex(properties={"name": "temp"})
+                # a second and third same-label edge migrate the primary
+                # adjacency cell into OSA "lid:" spill rows
+                store.add_edge(1, 3, "fanout")
+                store.add_edge(1, vid, "fanout")
+                assert osa.live_rows > osa_rows_before
+                store.set_vertex_property(2, "kind", "changed")
+                store.remove_edge(eid)
+                raise _Boom("abort")
+
+        assert_states_equal(
+            database_state(database), before, context="store rollback"
+        )
+        assert (store.vertex_count(), store.edge_count()) == counts
+        assert store.get_edge(eid) is not None
+
+    def test_committed_spill_rows_survive_following_abort(self):
+        from repro.core import SQLGraphStore
+        from repro.datasets.random_graphs import random_property_graph
+
+        store = SQLGraphStore()
+        store.load_graph(
+            random_property_graph(seed=6, n_vertices=8, n_edges=10)
+        )
+        database = store.database
+        with database.transaction():
+            store.add_edge(1, 2, "rel")
+            store.add_edge(1, 3, "rel")  # commits real spill rows
+        committed = database_state(database)
+        with pytest.raises(_Boom):
+            with database.transaction():
+                store.add_edge(1, 4, "rel")  # extends the same spill list
+                raise _Boom("abort")
+        assert_states_equal(
+            database_state(database), committed, context="post-commit abort"
+        )
+
+
+class TestRollbackLockRelease:
+    """Regression: a failing undo step must still release table locks
+    (and unregister the thread's transaction)."""
+
+    def test_locks_released_when_undo_raises(self, monkeypatch):
+        database = make_db()
+        original_restore = HeapTable.restore
+
+        def broken_restore(self, rid, row):
+            raise OSError("simulated undo failure")
+
+        monkeypatch.setattr(HeapTable, "restore", broken_restore)
+        with pytest.raises(OSError, match="simulated undo failure"):
+            with database.transaction():
+                database.execute("DELETE FROM t WHERE id = 1")
+                raise _Boom("abort")
+        monkeypatch.setattr(HeapTable, "restore", original_restore)
+
+        # the session is not wedged: the thread has no dangling
+        # transaction and fresh writers can take the table lock
+        assert database.current_transaction() is None
+        database.locks.timeout = 0.2
+        database.execute("INSERT INTO t VALUES (9, 'ok')")
+        assert database.execute(
+            "SELECT v FROM t WHERE id = 9"
+        ).scalar() == "ok"
+
+    def test_failed_undo_marks_transaction_finished(self, monkeypatch):
+        database = make_db()
+        monkeypatch.setattr(
+            HeapTable, "restore",
+            lambda self, rid, row: (_ for _ in ()).throw(OSError("boom")),
+        )
+        transaction = None
+        try:
+            with database.transaction() as txn:
+                transaction = txn
+                database.execute("DELETE FROM t WHERE id = 2")
+                raise _Boom("abort")
+        except (OSError, _Boom):
+            pass
+        assert transaction is not None and not transaction.active
+        with pytest.raises(TransactionError):
+            transaction.commit()
