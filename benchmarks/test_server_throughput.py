@@ -1,0 +1,179 @@
+"""Concurrent-serving throughput: aggregate committed writes, 8 vs 1 clients.
+
+Closed-loop benchmark in the style of the paper's serving evaluation:
+each client is an application that does a fixed slice of its own work
+(``THINK_S``) and then submits one durable autocommit ``INSERT`` over the
+wire, waiting for the acknowledgement before continuing.  A single
+connection therefore leaves the server idle for most of each loop; the
+serving layer's job is to overlap many such clients onto one shared
+store, with WAL group commit (``REPRO_WAL_FSYNC=group``) amortising the
+fsync cost that concurrent commit points would otherwise each pay.
+
+Each client writes its own table, so the aggregate measures the serving
+layer and the log — not table-lock contention.  The server runs in a real
+separate process (``python -m repro.server``); every count is a
+client-acknowledged commit.
+
+Writes ``benchmarks/results/BENCH_server.json`` plus the usual text
+table.  Acceptance: 8 concurrent clients must deliver at least 2x the
+aggregate committed-write throughput of 1 client.
+
+``REPRO_BENCH_SMOKE=1`` (the CI server job) shrinks the measured window
+and relaxes the ratio so the end-to-end path is exercised quickly on
+noisy shared runners.
+"""
+
+import json
+import os
+import shutil
+import signal
+import statistics
+import subprocess
+import sys
+import threading
+from time import perf_counter, sleep
+
+from benchmarks.conftest import RESULTS_DIR, record
+from repro.bench.reporting import format_table
+from repro.client import SQLGraphClient
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: per-iteration application think time (client-side work per commit)
+THINK_S = 0.002
+DURATION_S = 0.6 if SMOKE else 2.0
+REPEATS = 1 if SMOKE else 3
+CLIENT_COUNTS = (1, 8)
+MIN_SPEEDUP = 1.3 if SMOKE else 2.0
+
+
+def _boot_server(path, fsync_mode="group"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["REPRO_WAL_FSYNC"] = fsync_mode
+    env["REPRO_WAL_CHECKPOINT_EVERY"] = "0"  # measure the log, not snapshots
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0",
+         "--path", str(path), "--dataset", "tinker",
+         "--workers", "10", "--queue", "32"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    line = proc.stdout.readline().strip()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to boot: {line!r}")
+    return proc, int(line.rsplit(":", 1)[1])
+
+
+def _stop_server(proc):
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0, "server did not shut down cleanly"
+
+
+def _closed_loop(port, clients, duration_s, tag):
+    """Run *clients* closed-loop writers; returns acknowledged commits/s."""
+    counts = [0] * clients
+    failures = []
+
+    def worker(idx):
+        try:
+            with SQLGraphClient("127.0.0.1", port) as client:
+                client.sql(
+                    f"CREATE TABLE bench_{tag}_{idx} "
+                    f"(id INTEGER PRIMARY KEY, v STRING)"
+                )
+                deadline = perf_counter() + duration_s
+                i = 0
+                while perf_counter() < deadline:
+                    sleep(THINK_S)  # the application's own work
+                    client.sql(
+                        f"INSERT INTO bench_{tag}_{idx} VALUES (?, ?)",
+                        [i, f"payload-{i}"],
+                    )
+                    i += 1  # counted only after the commit is acknowledged
+                counts[idx] = i
+        except Exception as exc:  # noqa: BLE001 - surfaced via assert below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(idx,))
+               for idx in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, f"client failures: {failures[:3]}"
+    total = sum(counts)
+    assert total > 0, "no commits were acknowledged"
+    return total / duration_s
+
+
+def test_server_concurrent_write_throughput(tmp_path):
+    throughput = {n: [] for n in CLIENT_COUNTS}
+    for attempt in range(REPEATS):
+        directory = tmp_path / f"store{attempt}"
+        proc, port = _boot_server(directory)
+        try:
+            for clients in CLIENT_COUNTS:
+                throughput[clients].append(
+                    _closed_loop(port, clients, DURATION_S,
+                                 f"a{attempt}c{clients}")
+                )
+        finally:
+            _stop_server(proc)
+            shutil.rmtree(directory, ignore_errors=True)
+
+    median = {n: statistics.median(samples)
+              for n, samples in throughput.items()}
+    speedup = median[8] / median[1]
+
+    # one extra point (full runs only): the same 8-client workload with
+    # fsync-per-commit, to show what group commit is buying at this
+    # concurrency level
+    always_ops = None
+    if not SMOKE:
+        directory = tmp_path / "store-always"
+        proc, port = _boot_server(directory, fsync_mode="always")
+        try:
+            always_ops = _closed_loop(port, 8, DURATION_S, "always")
+        finally:
+            _stop_server(proc)
+            shutil.rmtree(directory, ignore_errors=True)
+
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "think_time_ms": THINK_S * 1000.0,
+        "duration_s": DURATION_S,
+        "repeats": REPEATS,
+        "wal_fsync": "group",
+        "committed_writes_per_s": {
+            str(n): {"median": median[n], "best": max(throughput[n])}
+            for n in CLIENT_COUNTS
+        },
+        "speedup_8_over_1": speedup,
+        "committed_writes_per_s_8_clients_fsync_always": always_ops,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_server.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [[f"{n} client{'s' if n > 1 else ''}", f"{median[n]:,.0f}"]
+            for n in CLIENT_COUNTS]
+    if always_ops is not None:
+        rows.append(["8 clients (fsync=always)", f"{always_ops:,.0f}"])
+    record(
+        "server_throughput",
+        format_table(
+            ["configuration", "committed writes/s"],
+            rows,
+            title=f"Concurrent serving — closed-loop clients, "
+                  f"{THINK_S * 1000:.0f}ms think time, group commit "
+                  f"({speedup:.2f}x at 8 clients)",
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"8 clients delivered only {speedup:.2f}x the single-client "
+        f"committed-write throughput (need >= {MIN_SPEEDUP}x)"
+    )

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli --dataset dbpedia --scale 0.5
     python -m repro.cli --dataset linkbench --query "g.V.count()"
     python -m repro.cli --dataset tinker --path /tmp/graphdb
+    python -m repro.cli --connect 127.0.0.1:7687
 
 Inside the shell, plain input is a Gremlin query; commands start with a
 colon::
@@ -30,6 +31,12 @@ translation trace and execution counters when one has run.
 every later run recovers the persisted graph (including any CRUD done in
 between) from the write-ahead log; ``:checkpoint`` forces a snapshot and
 ``:stats`` shows the WAL counters (see docs/ARCHITECTURE.md).
+
+``--connect HOST:PORT`` attaches the same shell to a running
+``repro-serve`` instance instead of an embedded store: every line is
+forwarded over the wire and executed server-side with identical
+semantics, ``:stats`` additionally reports the serving-layer counters,
+and ``:quit`` just closes the connection (see docs/SERVER.md).
 """
 
 from __future__ import annotations
@@ -205,6 +212,11 @@ def _last_query_lines(store):
         f"last query: {stats.gremlin}",
         f"  {stats.rows_returned} rows in {stats.elapsed_s * 1000:.3f}ms "
         f"(translation {stats.translate_s * 1000:.3f}ms)",
+    ]
+    if stats.session_id is not None:
+        peer = f" ({stats.connection})" if stats.connection else ""
+        lines.append(f"  session: #{stats.session_id}{peer}")
+    lines += [
         f"  caches: translation "
         f"{'hit' if stats.translation_cache_hit else 'miss'}, "
         f"plan {'hit' if stats.plan_cache_hit else 'miss'}",
@@ -221,6 +233,58 @@ def _last_query_lines(store):
     if store.slow_query_log:
         lines.append(f"  slow-query log: {len(store.slow_query_log)} entries")
     return lines
+
+
+def _remote_main(args):
+    """``--connect`` mode: the REPL drives a remote store over the wire.
+
+    Lines are forwarded via the server's ``shell`` op, so commands behave
+    exactly as they do locally; only ``:quit`` is intercepted client-side
+    (it closes the connection rather than stopping the server).
+    """
+    from repro.client import ClientError, SQLGraphClient
+    from repro.server.protocol import WireError
+
+    host, __, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        client = SQLGraphClient(host, int(port_text)).connect()
+    except (ClientError, WireError, OSError) as exc:
+        print(f"cannot connect to {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.query is not None:
+            print(client.shell(args.query))
+            return 0
+        print(f"SQLGraph shell — connected to {args.connect} "
+              f"(session #{client.session_id})")
+        print("enter Gremlin, or :help for commands")
+        while True:
+            try:
+                line = input("sqlgraph> ")
+            except EOFError:
+                print()
+                return 0
+            if line.strip() in (":quit", ":q", ":exit"):
+                return 0
+            if not line.strip():
+                continue
+            try:
+                output = client.shell(line)
+            except WireError as exc:
+                output = f"error [{exc.code}]: {exc}"
+                if exc.retryable:
+                    output += " (retryable)"
+            except ClientError as exc:
+                print(f"connection lost: {exc}", file=sys.stderr)
+                return 1
+            if output:
+                print(output)
+    finally:
+        client.close()
 
 
 def main(argv=None):
@@ -243,7 +307,15 @@ def main(argv=None):
         help="directory for durable storage (WAL + checkpoints); "
         "reopening recovers the persisted graph",
     )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="attach to a running repro-serve instance instead of "
+        "loading an embedded store",
+    )
     args = parser.parse_args(argv)
+
+    if args.connect is not None:
+        return _remote_main(args)
 
     store = build_store(args.dataset, args.scale, path=args.path)
     try:

@@ -1,0 +1,334 @@
+"""Blocking client for the SQLGraph server.
+
+:class:`SQLGraphClient` speaks the framed-JSON protocol of
+:mod:`repro.server.protocol`: one request frame out, one response frame
+in, matched by request id.  Mirrors the embedded store's query surface::
+
+    from repro.client import SQLGraphClient
+
+    with SQLGraphClient("127.0.0.1", 7687) as client:
+        names = client.run("g.V.has('age', T.gt, 28).name")
+        result = client.sql("SELECT COUNT(*) FROM va WHERE vid >= 0")
+        with client.transaction():
+            client.sql("INSERT INTO kv VALUES (?, ?)", [1, "one"])
+
+Failure handling
+----------------
+
+Server-side failures surface as :class:`~repro.server.protocol.WireError`
+with a typed ``code`` and a ``retryable`` flag.  The client additionally
+*retries transparently* when it is provably safe:
+
+* **idempotent reads** (``gremlin``/``run``/``sql`` SELECTs, ``ping``,
+  ``stats``) are re-sent after a reconnect when the connection drops, and
+  re-sent after a backoff on retryable rejections (``SERVER_BUSY``);
+* **everything else** (writes, transaction control) is never auto-retried
+  — a dropped connection mid-write means the commit state is unknown, so
+  the error propagates to the caller;
+* retries never happen inside an open transaction: the session (and its
+  transaction) died with the old connection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+
+from repro.server.protocol import (
+    ConnectionClosedError,
+    FrameAssembler,
+    FrameError,
+    PROTOCOL_VERSION,
+    WireError,
+    recv_message,
+    send_message,
+)
+
+CLIENT_NAME = "repro-client/1.0"
+
+
+class ClientError(Exception):
+    """Client-side failure (connect, handshake, response mismatch)."""
+
+
+class ResultSet:
+    """Client-side mirror of the engine ResultSet (columns + rows)."""
+
+    __slots__ = ("columns", "rows", "rowcount", "stats")
+
+    def __init__(self, columns=(), rows=(), rowcount=0, stats=None):
+        self.columns = list(columns)
+        self.rows = [tuple(row) for row in rows]
+        self.rowcount = rowcount
+        self.stats = stats
+
+    def scalar(self):
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class SQLGraphClient:
+    """A blocking connection to a SQLGraph server.
+
+    :param host/port: server address.
+    :param connect_timeout_s: TCP connect + handshake budget.
+    :param request_timeout_s: per-response wait budget.
+    :param retries: extra attempts for idempotent reads (see module doc).
+    :param retry_backoff_s: base sleep between retry attempts (doubles
+        per attempt).
+    """
+
+    def __init__(self, host="127.0.0.1", port=7687, connect_timeout_s=5.0,
+                 request_timeout_s=30.0, retries=2, retry_backoff_s=0.05,
+                 client_name=CLIENT_NAME):
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.client_name = client_name
+        self.session_id = None
+        self.reconnects = 0
+        self._sock = None
+        self._assembler = None
+        self._ids = itertools.count(1)
+        self._in_transaction = False
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def connect(self):
+        """Open the socket and run the protocol handshake.  Idempotent."""
+        if self._sock is not None:
+            return self
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        assembler = FrameAssembler()
+        try:
+            send_message(sock, {
+                "op": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "client": self.client_name,
+            })
+            reply = recv_message(sock, assembler)
+            if reply is None:
+                raise ClientError("handshake timed out")
+        except (OSError, ConnectionClosedError, FrameError) as exc:
+            sock.close()
+            raise ClientError(f"handshake failed: {exc}") from None
+        if reply.get("ok") is False:
+            sock.close()
+            raise WireError.from_payload(reply.get("error", {}))
+        if reply.get("op") != "hello" or reply.get("protocol") != \
+                PROTOCOL_VERSION:
+            sock.close()
+            raise ClientError(f"unexpected handshake reply: {reply!r}")
+        sock.settimeout(self.request_timeout_s)
+        self._sock = sock
+        self._assembler = assembler
+        self.session_id = reply.get("session")
+        self._in_transaction = False
+        return self
+
+    def close(self):
+        """Close the connection.  Idempotent."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._assembler = None
+                self.session_id = None
+                self._in_transaction = False
+
+    def _drop_connection(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._assembler = None
+        self.session_id = None
+        self._in_transaction = False
+
+    @property
+    def connected(self):
+        return self._sock is not None
+
+    @property
+    def in_transaction(self):
+        return self._in_transaction
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _request(self, op, payload=None, idempotent=False):
+        """Send one request, wait for its response, unwrap the result.
+
+        *idempotent* requests are retried across reconnects and
+        retryable rejections; everything else fails fast.
+        """
+        attempts = 1 + (self.retries if idempotent else 0)
+        last_error = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+            try:
+                return self._request_once(op, payload)
+            except (ConnectionClosedError, OSError) as exc:
+                self._drop_connection()
+                last_error = ClientError(f"connection lost: {exc}")
+                if not idempotent:
+                    raise last_error from None
+            except WireError as exc:
+                if not (idempotent and exc.retryable):
+                    raise
+                last_error = exc
+                self._drop_connection()
+        raise last_error
+
+    def _request_once(self, op, payload):
+        if self._sock is None:
+            self.connect()
+        request_id = next(self._ids)
+        message = {"id": request_id, "op": op}
+        if payload:
+            message.update(payload)
+        send_message(self._sock, message)
+        while True:
+            reply = recv_message(self._sock, self._assembler)
+            if reply is None:
+                self._drop_connection()
+                raise ConnectionClosedError(
+                    f"no response within {self.request_timeout_s}s"
+                )
+            if reply.get("id") is None and reply.get("ok") is False:
+                # unsolicited close notification (idle reap, drain)
+                self._drop_connection()
+                raise WireError.from_payload(reply.get("error", {}))
+            if reply.get("id") != request_id:
+                self._drop_connection()
+                raise ClientError(
+                    f"response id {reply.get('id')!r} does not match "
+                    f"request id {request_id}"
+                )
+            if reply.get("ok"):
+                return reply.get("result")
+            raise WireError.from_payload(reply.get("error", {}))
+
+    # ------------------------------------------------------------------
+    # query surface (mirrors SQLGraphStore)
+    # ------------------------------------------------------------------
+    def ping(self):
+        return self._request("ping", idempotent=True)
+
+    def query(self, gremlin_text):
+        """Run a Gremlin query; returns a :class:`ResultSet`."""
+        result = self._request(
+            "gremlin", {"query": gremlin_text},
+            idempotent=not self._in_transaction,
+        )
+        return ResultSet(
+            result["columns"], result["rows"], stats=result.get("stats")
+        )
+
+    def run(self, gremlin_text):
+        """Run a Gremlin query; returns the list of result values."""
+        result = self._request(
+            "run", {"query": gremlin_text},
+            idempotent=not self._in_transaction,
+        )
+        return result["values"]
+
+    def sql(self, sql_text, params=None):
+        """Raw SQL.  SELECTs outside a transaction are retried safely."""
+        payload = {"query": sql_text}
+        if params is not None:
+            payload["params"] = list(params)
+        idempotent = (
+            not self._in_transaction
+            and sql_text.lstrip().lower().startswith(("select", "explain"))
+        )
+        result = self._request("sql", payload, idempotent=idempotent)
+        return ResultSet(
+            result["columns"], result["rows"], result.get("rowcount", 0)
+        )
+
+    def shell(self, line):
+        """One REPL line, executed server-side; returns the output text."""
+        result = self._request("shell", {"line": line})
+        return result["output"]
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(self):
+        result = self._request("begin")
+        self._in_transaction = True
+        return result["txid"]
+
+    def commit(self):
+        try:
+            return self._request("commit")
+        finally:
+            self._in_transaction = False
+
+    def rollback(self):
+        try:
+            return self._request("rollback")
+        finally:
+            self._in_transaction = False
+
+    def transaction(self):
+        """``with client.transaction():`` — commit on success, roll back
+        on exception (same contract as ``Database.transaction()``)."""
+        client = self
+
+        class _RemoteTransaction:
+            def __enter__(self):
+                client.begin()
+                return client
+
+            def __exit__(self, exc_type, exc, tb):
+                if exc_type is None:
+                    client.commit()
+                elif client.connected and client.in_transaction:
+                    try:
+                        client.rollback()
+                    except (ClientError, WireError):
+                        pass
+                return False
+
+        return _RemoteTransaction()
+
+    # ------------------------------------------------------------------
+    # session settings / introspection
+    # ------------------------------------------------------------------
+    def set_statement_timeout(self, milliseconds):
+        """Bound this session's statement lock waits (None clears)."""
+        return self._request(
+            "set", {"settings": {"statement_timeout_ms": milliseconds}}
+        )
+
+    def stats(self):
+        """Server + session + last-query statistics."""
+        return self._request("stats", idempotent=True)

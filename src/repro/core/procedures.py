@@ -15,6 +15,8 @@ mutates OPA/OSA/IPA/ISA/VA/EA consistently:
 
 from __future__ import annotations
 
+import threading
+
 from repro.relational.locks import LockManager
 
 
@@ -28,6 +30,7 @@ class GraphProcedures:
         self.out_coloring = out_coloring
         self.in_coloring = in_coloring
         self._next_lid = lid_start
+        self._lid_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # helpers
@@ -46,8 +49,10 @@ class GraphProcedures:
         return table.indexes[f"{table.name}_valid"]
 
     def _allocate_lid(self):
-        self._next_lid += 1
-        return f"lid:{self._next_lid}"
+        # concurrent sessions must never mint the same multi-value list id
+        with self._lid_lock:
+            self._next_lid += 1
+            return f"lid:{self._next_lid}"
 
     # ------------------------------------------------------------------
     # vertices

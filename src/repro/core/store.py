@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+import threading
 from time import perf_counter
 
 from repro.core.loader import SQLGraphLoader
@@ -28,6 +29,7 @@ from repro.core.translator import (
 from repro.graph.blueprints import Direction, GraphInterface
 from repro.gremlin.errors import GremlinError
 from repro.gremlin.parser import parse_gremlin
+from repro.obs import context as obs_context
 from repro.obs.stats import ExecutionStats, QueryStats
 from repro.relational.cache import LRUCache, resolve_capacity
 from repro.relational.database import Database
@@ -102,15 +104,29 @@ class SQLGraphStore(GraphInterface):
         self.load_report = None
         self._next_vertex_id = 1
         self._next_edge_id = 1
+        # id allocation, translated-query counter and the slow-query log
+        # are shared by every server session; one small guard covers them
+        self._mutation_lock = threading.Lock()
+        self._local = threading.local()
         self._attribute_indexes = []  # (element, key, sorted_index)
         self.queries_translated = 0
         self.slow_query_threshold = slow_query_threshold
         self.slow_query_log = []
-        #: :class:`repro.obs.stats.QueryStats` for the most recent
-        #: ``query``/``run`` call (translation trace + execution counters).
-        self.last_query_stats = None
         if path is not None and self.database.get_meta(self.META_KEY):
             self._restore_from_meta()
+
+    # Concurrent sessions each run on their own worker thread (see
+    # repro.server); keeping the most-recent-query stats per thread means a
+    # session's :stats / last_query_stats never shows another client's query.
+    @property
+    def last_query_stats(self):
+        """:class:`repro.obs.stats.QueryStats` for this thread's most
+        recent ``query``/``run`` call (translation trace + counters)."""
+        return getattr(self._local, "query_stats", None)
+
+    @last_query_stats.setter
+    def last_query_stats(self, value):
+        self._local.query_stats = value
 
     # ------------------------------------------------------------------
     # loading
@@ -282,8 +298,12 @@ class SQLGraphStore(GraphInterface):
     def translate(self, gremlin_text):
         """Gremlin text → the single SQL statement that answers it."""
         query = parse_gremlin(gremlin_text)
-        self.queries_translated += 1
+        self._count_translation()
         return self.translator.translate(query)
+
+    def _count_translation(self):
+        with self._mutation_lock:
+            self.queries_translated += 1
 
     def query(self, gremlin_text):
         """Run a Gremlin query; returns the engine ResultSet.
@@ -298,6 +318,8 @@ class SQLGraphStore(GraphInterface):
         sql, params, trace, translation_hit = self._compile(gremlin_text)
         translated = perf_counter()
         stats = QueryStats(gremlin_text, sql, trace=trace)
+        stats.session_id = obs_context.current_session_id()
+        stats.connection = obs_context.current_connection()
         stats.translate_s = translated - started
         stats.translation_cache_hit = translation_hit
         self._charge_round_trip()
@@ -331,9 +353,10 @@ class SQLGraphStore(GraphInterface):
     def _log_slow_query(self, stats):
         entry = stats.as_dict()
         entry["threshold_s"] = self.slow_query_threshold
-        self.slow_query_log.append(entry)
-        if len(self.slow_query_log) > self.SLOW_QUERY_LOG_LIMIT:
-            del self.slow_query_log[: -self.SLOW_QUERY_LOG_LIMIT]
+        with self._mutation_lock:
+            self.slow_query_log.append(entry)
+            if len(self.slow_query_log) > self.SLOW_QUERY_LOG_LIMIT:
+                del self.slow_query_log[: -self.SLOW_QUERY_LOG_LIMIT]
 
     def _compile(self, gremlin_text):
         """Gremlin text → ``(sql, params, trace, translation_cache_hit)``.
@@ -346,7 +369,7 @@ class SQLGraphStore(GraphInterface):
         query = parse_gremlin(gremlin_text)
         if not self.translation_cache.enabled:
             sql = self.translator.translate(query)
-            self.queries_translated += 1
+            self._count_translation()
             return sql, None, self.translator.last_trace, False
         template, values, key = parameterize_query(query)
         epoch = self.database.schema_epoch
@@ -356,7 +379,7 @@ class SQLGraphStore(GraphInterface):
             sql, recipe = strip_parameter_markers(marked_sql)
             entry = _CompiledTemplate(sql, recipe, self.translator.last_trace)
             self.translation_cache.put(key, entry, epoch=epoch)
-            self.queries_translated += 1
+            self._count_translation()
             return entry.sql, bind_parameters(values, entry.recipe), entry.trace, False
         return entry.sql, bind_parameters(values, entry.recipe), entry.trace, True
 
@@ -385,18 +408,20 @@ class SQLGraphStore(GraphInterface):
     # Blueprints-style CRUD (one round trip per call)
     # ------------------------------------------------------------------
     def add_vertex(self, vertex_id=None, properties=None):
-        if vertex_id is None:
-            vertex_id = self._next_vertex_id
-        self._next_vertex_id = max(self._next_vertex_id, vertex_id + 1)
+        with self._mutation_lock:
+            if vertex_id is None:
+                vertex_id = self._next_vertex_id
+            self._next_vertex_id = max(self._next_vertex_id, vertex_id + 1)
         self._charge_round_trip()
         self.procedures.add_vertex(vertex_id, properties)
         return vertex_id
 
     def add_edge(self, out_vertex_id, in_vertex_id, label, edge_id=None,
                  properties=None):
-        if edge_id is None:
-            edge_id = self._next_edge_id
-        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        with self._mutation_lock:
+            if edge_id is None:
+                edge_id = self._next_edge_id
+            self._next_edge_id = max(self._next_edge_id, edge_id + 1)
         self._charge_round_trip()
         self.procedures.add_edge(
             edge_id, out_vertex_id, in_vertex_id, label, properties

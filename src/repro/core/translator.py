@@ -39,6 +39,7 @@ was taken — see docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 import dataclasses
+import threading
 
 from repro.gremlin import closures as cl
 from repro.gremlin import pipes as p
@@ -99,18 +100,28 @@ def _render_id(value):
 
 
 class GremlinTranslator:
-    """Translates parsed Gremlin queries against one SQLGraph schema."""
+    """Translates parsed Gremlin queries against one SQLGraph schema.
+
+    One translator is shared by every session of a server, so the
+    most-recent-trace bookkeeping is per thread: a session reading
+    :attr:`last_trace` always sees its own translation, never a
+    concurrent one.
+    """
 
     def __init__(self, schema):
         self.schema = schema
-        #: TranslationTrace of the most recent :meth:`translate` call.
-        self.last_trace = None
+        self._local = threading.local()
+
+    @property
+    def last_trace(self):
+        """TranslationTrace of this thread's most recent translate()."""
+        return getattr(self._local, "trace", None)
 
     def translate(self, query):
         """Return the SQL text for *query* (a GremlinQuery)."""
         translation = _Translation(self.schema, list(query.pipes))
         sql = translation.build()
-        self.last_trace = translation.trace
+        self._local.trace = translation.trace
         return sql
 
 

@@ -15,6 +15,13 @@ Two layers, both dependency-free:
 See ``docs/OBSERVABILITY.md`` for metric names and output formats.
 """
 
+from repro.obs.context import (
+    clear_session,
+    current_connection,
+    current_session_id,
+    session_scope,
+    set_session,
+)
 from repro.obs.metrics import (
     Counter,
     ENGINE_METRICS,
@@ -34,6 +41,11 @@ from repro.obs.stats import (
 __all__ = [
     "Counter",
     "ENGINE_METRICS",
+    "clear_session",
+    "current_connection",
+    "current_session_id",
+    "session_scope",
+    "set_session",
     "ExecutionStats",
     "Gauge",
     "MetricsRegistry",

@@ -1,0 +1,60 @@
+"""Per-thread session attribution for observability records.
+
+The serving layer (:mod:`repro.server`) executes each client session on a
+dedicated worker thread.  Binding the session/connection identity to the
+thread lets every layer below — the store's slow-query log, the engine's
+``EXPLAIN ANALYZE`` stats, lock-timeout errors — stamp its records with
+*who* ran the statement without threading a session object through every
+call signature.
+
+Embedded (non-server) use never touches this module: the context defaults
+to ``None`` and every consumer treats that as "no session".
+"""
+
+from __future__ import annotations
+
+import threading
+
+_CONTEXT = threading.local()
+
+
+def set_session(session_id, connection=None):
+    """Bind the calling thread's work to *session_id*.
+
+    :param session_id: server-assigned session number (int).
+    :param connection: optional peer description, e.g. ``"127.0.0.1:52114"``.
+    """
+    _CONTEXT.session_id = session_id
+    _CONTEXT.connection = connection
+
+
+def clear_session():
+    """Detach the calling thread from any session."""
+    _CONTEXT.session_id = None
+    _CONTEXT.connection = None
+
+
+def current_session_id():
+    """The session id bound to this thread, or ``None``."""
+    return getattr(_CONTEXT, "session_id", None)
+
+
+def current_connection():
+    """The peer description bound to this thread, or ``None``."""
+    return getattr(_CONTEXT, "connection", None)
+
+
+class session_scope:
+    """``with session_scope(sid, conn):`` — bind and always unbind."""
+
+    def __init__(self, session_id, connection=None):
+        self.session_id = session_id
+        self.connection = connection
+
+    def __enter__(self):
+        set_session(self.session_id, self.connection)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        clear_session()
+        return False

@@ -51,6 +51,9 @@ class ExecutionStats:
         self.index_probes = 0
         self.index_range_scans = 0
         self.lock_wait_s = 0.0
+        #: serving-layer attribution (``None`` outside a server session)
+        self.session_id = None
+        self.connection = None
 
     def operator_stats(self, operator):
         return self.operators.get(id(operator))
@@ -69,6 +72,8 @@ class ExecutionStats:
             "index_probes": self.index_probes,
             "index_range_scans": self.index_range_scans,
             "lock_wait_s": self.lock_wait_s,
+            "session_id": self.session_id,
+            "connection": self.connection,
         }
 
 
@@ -208,10 +213,15 @@ class QueryStats:
         #: WAL counter snapshot (``Database.wal_stats()``); ``None`` for an
         #: in-memory store
         self.wal = None
+        #: serving-layer attribution (``None`` outside a server session)
+        self.session_id = None
+        self.connection = None
 
     def as_dict(self):
         return {
             "gremlin": self.gremlin,
+            "session_id": self.session_id,
+            "connection": self.connection,
             "sql": self.sql,
             "translate_s": self.translate_s,
             "elapsed_s": self.elapsed_s,

@@ -18,6 +18,7 @@ import os
 import threading
 from time import perf_counter
 
+from repro.obs import context as obs_context
 from repro.obs.metrics import ENGINE_METRICS
 from repro.obs.stats import ExecutionStats, instrument_plan, render_analyzed_plan
 from repro.relational import expressions as ex
@@ -213,7 +214,8 @@ class Database:
 
     :param buffer_pool_pages: LRU buffer pool capacity in pages
         (``None`` = unbounded).
-    :param lock_timeout: seconds to wait for a table lock.
+    :param lock_timeout: seconds to wait for a table lock (``None`` =
+        ``REPRO_LOCK_TIMEOUT_MS`` env, default 30s).
     :param plan_cache_size: prepared-statement cache capacity (0 disables;
         ``None`` = ``REPRO_PLAN_CACHE``/``REPRO_PLAN_CACHE_SIZE`` env).
     :param path: directory for durable storage.  ``None`` (the default)
@@ -228,7 +230,7 @@ class Database:
         env, default 10000).
     """
 
-    def __init__(self, buffer_pool_pages=None, lock_timeout=30.0,
+    def __init__(self, buffer_pool_pages=None, lock_timeout=None,
                  planner_options=None, plan_cache_size=None, path=None,
                  wal_fsync=None, wal_group_window_ms=None,
                  wal_checkpoint_every=None):
@@ -246,14 +248,10 @@ class Database:
         self.plan_cache = LRUCache(
             resolve_capacity(plan_cache_size), metrics_prefix="plan_cache"
         )
-        #: whether the most recent execute() reused a cached prepared
-        #: statement (observability; see QueryStats.plan_cache_hit).
-        self.last_statement_cache_hit = False
         #: when True, every SELECT is executed with operator instrumentation
         #: and the resulting :class:`~repro.obs.stats.ExecutionStats` lands in
         #: :attr:`last_statement_stats` (EXPLAIN ANALYZE sets this per call).
         self.collect_stats = False
-        self.last_statement_stats = None
         #: durable key/value side-store (see :meth:`put_meta`); snapshotted
         #: at checkpoints and carried through recovery
         self.meta = {}
@@ -292,6 +290,27 @@ class Database:
         # and the (possibly long, possibly torn) log is truncated, so txids
         # from the previous incarnation can never collide with ours.
         self.checkpoint()
+
+    # Per-thread observability fields: concurrent sessions (one worker
+    # thread each, see repro.server) must not read each other's results.
+    @property
+    def last_statement_cache_hit(self):
+        """Did this thread's most recent execute() reuse a prepared
+        statement?  (observability; see QueryStats.plan_cache_hit)"""
+        return getattr(self._local, "cache_hit", False)
+
+    @last_statement_cache_hit.setter
+    def last_statement_cache_hit(self, value):
+        self._local.cache_hit = value
+
+    @property
+    def last_statement_stats(self):
+        """This thread's most recent instrumented ExecutionStats."""
+        return getattr(self._local, "statement_stats", None)
+
+    @last_statement_stats.setter
+    def last_statement_stats(self, value):
+        self._local.statement_stats = value
 
     # ------------------------------------------------------------------
     # public API
@@ -644,6 +663,8 @@ class Database:
             ENGINE_METRICS.value("index.range_scans") - ranges0
         )
         stats.lock_wait_s = ENGINE_METRICS.value("lock.wait_seconds") - waits0
+        stats.session_id = obs_context.current_session_id()
+        stats.connection = obs_context.current_connection()
         self.last_statement_stats = stats
         columns = [name for __, name in plan.columns]
         return plan, rows, columns, stats
@@ -681,6 +702,9 @@ class Database:
             f"{stats.index_range_scans} range scans"
         )
         lines.append(f"Locks: {stats.lock_wait_s * 1000:.3f}ms wait")
+        if stats.session_id is not None:
+            peer = f" ({stats.connection})" if stats.connection else ""
+            lines.append(f"Session: {stats.session_id}{peer}")
         cache = self.plan_cache.stats()
         lines.append(
             f"Plan cache: "

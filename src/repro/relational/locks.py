@@ -9,6 +9,7 @@ lock sets and for transactions that pre-declare their tables.
 
 from __future__ import annotations
 
+import os
 import threading
 from time import perf_counter
 
@@ -19,6 +20,27 @@ from repro.relational.errors import LockTimeoutError
 _WAIT_SECONDS = ENGINE_METRICS.counter("lock.wait_seconds")
 _ACQUISITIONS = ENGINE_METRICS.counter("lock.acquisitions")
 _TIMEOUTS = ENGINE_METRICS.counter("lock.timeouts")
+
+#: default lock-wait budget when neither the constructor nor the
+#: environment says otherwise, in seconds
+DEFAULT_LOCK_TIMEOUT_S = 30.0
+
+
+def resolve_lock_timeout(explicit=None):
+    """Lock-wait timeout in seconds.
+
+    ``explicit`` (seconds) wins when given; otherwise the
+    ``REPRO_LOCK_TIMEOUT_MS`` environment variable decides (milliseconds),
+    falling back to :data:`DEFAULT_LOCK_TIMEOUT_S`.
+    """
+    if explicit is not None:
+        return max(0.0, float(explicit))
+    raw = os.environ.get("REPRO_LOCK_TIMEOUT_MS", "")
+    try:
+        return max(0.0, float(raw)) / 1000.0 if raw.strip() \
+            else DEFAULT_LOCK_TIMEOUT_S
+    except ValueError:
+        return DEFAULT_LOCK_TIMEOUT_S
 
 
 class ReadWriteLock:
@@ -80,13 +102,48 @@ class ReadWriteLock:
 
 
 class LockManager:
-    """Owns one ReadWriteLock per table plus a catalog lock."""
+    """Owns one ReadWriteLock per table plus a catalog lock.
 
-    def __init__(self, timeout=30.0):
-        self.timeout = timeout
+    :param timeout: lock-wait budget in seconds; ``None`` resolves from
+        the ``REPRO_LOCK_TIMEOUT_MS`` environment variable (see
+        :func:`resolve_lock_timeout`).
+    """
+
+    def __init__(self, timeout=None):
+        self.timeout = resolve_lock_timeout(timeout)
         self._locks: dict[str, ReadWriteLock] = {}
         self._guard = threading.Lock()
+        self._local = threading.local()
         self.catalog_lock = ReadWriteLock("<catalog>")
+
+    def cap(self, seconds):
+        """``with locks.cap(s):`` — bound this thread's lock waits to *s*.
+
+        Used by the serving layer's statement timeouts: a session with a
+        1-second statement budget must not sit in a 30-second lock queue.
+        The tighter of the cap and the manager timeout wins; ``None`` is a
+        no-op context.
+        """
+        manager = self
+
+        class _Capped:
+            def __enter__(self):
+                self.previous = getattr(manager._local, "cap", None)
+                manager._local.cap = seconds
+                return manager
+
+            def __exit__(self, exc_type, exc, tb):
+                manager._local.cap = self.previous
+                return False
+
+        return _Capped()
+
+    def effective_timeout(self):
+        """The manager timeout, tightened by any per-thread cap."""
+        cap = getattr(self._local, "cap", None)
+        if cap is None:
+            return self.timeout
+        return min(self.timeout, cap)
 
     def lock_for(self, table_name):
         with self._guard:
@@ -106,14 +163,15 @@ class LockManager:
         plan = sorted(
             [(name, "w") for name in writes] + [(name, "r") for name in reads]
         )
+        timeout = self.effective_timeout()
         acquired = []
         try:
             for name, mode in plan:
                 lock = self.lock_for(name)
                 if mode == "w":
-                    lock.acquire_write(self.timeout)
+                    lock.acquire_write(timeout)
                 else:
-                    lock.acquire_read(self.timeout)
+                    lock.acquire_read(timeout)
                 acquired.append((lock, mode))
         except Exception:
             self.release(acquired)

@@ -1,0 +1,40 @@
+"""The SQLGraph serving layer: wire protocol + threaded session server.
+
+The paper evaluates SQLGraph as a *server* under a social-serving
+workload; this package is that network front end for the reproduction:
+
+* :mod:`repro.server.protocol` — length-prefixed, CRC-checked JSON
+  frames, the versioned handshake, and the typed error-code vocabulary;
+* :mod:`repro.server.session` — per-connection session state
+  (transaction, statement timeout, activity clock);
+* :mod:`repro.server.server` — :class:`SQLGraphServer`: accept loop,
+  bounded worker pool + accept queue (admission control), idle reaping
+  and graceful drain over one shared
+  :class:`~repro.core.store.SQLGraphStore`.
+
+``python -m repro.server`` (or the ``repro-serve`` entry point) boots a
+standalone server; :class:`repro.client.SQLGraphClient` is the matching
+client library.  See ``docs/SERVER.md``.
+"""
+
+from repro.server.protocol import (
+    FrameAssembler,
+    FrameError,
+    ConnectionClosedError,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    WireError,
+)
+from repro.server.server import SQLGraphServer
+from repro.server.session import Session
+
+__all__ = [
+    "ConnectionClosedError",
+    "FrameAssembler",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "SQLGraphServer",
+    "Session",
+    "WireError",
+]

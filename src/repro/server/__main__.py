@@ -1,0 +1,104 @@
+"""``repro-serve`` / ``python -m repro.server`` — boot a SQLGraph server.
+
+Usage::
+
+    repro-serve --dataset tinker --port 7687
+    repro-serve --path /var/lib/sqlgraph --dataset linkbench --scale 2
+    repro-serve --port 0            # ephemeral port, printed on stdout
+
+The process announces readiness by printing ``listening on HOST:PORT`` on
+stdout (scripts and the CI harness parse this line).  ``SIGTERM`` or
+``SIGINT`` triggers a graceful shutdown: in-flight requests drain, new
+ones are rejected with ``SHUTTING_DOWN``, the store checkpoints, the WAL
+closes, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.cli import build_store
+from repro.server.server import SQLGraphServer
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description="SQLGraph network server"
+    )
+    parser.add_argument(
+        "--dataset", default="tinker",
+        choices=["tinker", "classic", "dbpedia", "linkbench"],
+        help="graph to load when the store is empty",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier for dbpedia/linkbench",
+    )
+    parser.add_argument(
+        "--path", default=None,
+        help="directory for durable storage (WAL + checkpoints); "
+        "reopening recovers the persisted graph",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7687,
+        help="TCP port (0 = ephemeral; the chosen port is printed)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="worker pool size = concurrent session cap",
+    )
+    parser.add_argument(
+        "--queue", type=int, default=16,
+        help="accept queue bound; connections beyond it are fast-failed "
+        "with SERVER_BUSY",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="seconds of silence before a session is reaped (0 disables)",
+    )
+    parser.add_argument(
+        "--statement-timeout", type=float, default=0.0,
+        help="default per-statement budget in seconds (0 disables)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="grace window for open transactions at shutdown",
+    )
+    args = parser.parse_args(argv)
+
+    # handlers go in before the readiness line prints: a supervisor may
+    # SIGTERM us the instant it sees "listening on ..."
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+    store = build_store(args.dataset, args.scale, path=args.path)
+    server = SQLGraphServer(
+        store,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_queue=args.queue,
+        idle_timeout_s=args.idle_timeout or None,
+        statement_timeout_s=args.statement_timeout or None,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server.start()
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    stop.wait()
+    print("shutting down: draining sessions", flush=True)
+    server.shutdown()
+    print("bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Lock-timeout configuration and multi-threaded contention.
+
+Satellite coverage for the serving layer: ``REPRO_LOCK_TIMEOUT_MS``
+resolution, the per-thread :meth:`LockManager.cap` used by statement
+timeouts, a stress test that provokes real ``LockTimeoutError`` under
+writer contention, and the retryable ``LOCK_TIMEOUT`` wire error a remote
+client sees for the same situation.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import build_store
+from repro.client import SQLGraphClient
+from repro.relational import Database
+from repro.relational.errors import LockTimeoutError
+from repro.relational.locks import (
+    DEFAULT_LOCK_TIMEOUT_S,
+    LockManager,
+    resolve_lock_timeout,
+)
+from repro.server import SQLGraphServer, WireError
+from repro.server import protocol
+
+
+class TestTimeoutResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_TIMEOUT_MS", raising=False)
+        assert resolve_lock_timeout() == DEFAULT_LOCK_TIMEOUT_S
+
+    def test_env_is_milliseconds(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_MS", "1500")
+        assert resolve_lock_timeout() == 1.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_MS", "1500")
+        assert resolve_lock_timeout(0.2) == 0.2
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_MS", "soon")
+        assert resolve_lock_timeout() == DEFAULT_LOCK_TIMEOUT_S
+
+    def test_lock_manager_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_MS", "250")
+        assert LockManager().timeout == 0.25
+        # explicit constructor values still win (test suite relies on it)
+        assert LockManager(timeout=0.2).timeout == 0.2
+
+    def test_database_inherits_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_TIMEOUT_MS", "125")
+        database = Database()
+        assert database.locks.timeout == 0.125
+
+
+class TestPerThreadCap:
+    def test_cap_tightens_and_restores(self):
+        locks = LockManager(timeout=30.0)
+        assert locks.effective_timeout() == 30.0
+        with locks.cap(0.5):
+            assert locks.effective_timeout() == 0.5
+            with locks.cap(0.1):
+                assert locks.effective_timeout() == 0.1
+            assert locks.effective_timeout() == 0.5
+        assert locks.effective_timeout() == 30.0
+
+    def test_cap_none_is_a_no_op(self):
+        locks = LockManager(timeout=30.0)
+        with locks.cap(None):
+            assert locks.effective_timeout() == 30.0
+
+    def test_cap_never_loosens(self):
+        locks = LockManager(timeout=0.2)
+        with locks.cap(10.0):
+            assert locks.effective_timeout() == 0.2
+
+    def test_cap_is_thread_local(self):
+        locks = LockManager(timeout=30.0)
+        seen = {}
+        ready = threading.Event()
+
+        def other():
+            ready.wait(timeout=5)
+            seen["other"] = locks.effective_timeout()
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        with locks.cap(0.25):
+            ready.set()
+            thread.join(timeout=5)
+            seen["capped"] = locks.effective_timeout()
+        assert seen == {"other": 30.0, "capped": 0.25}
+
+
+class TestContentionStress:
+    def test_writer_contention_provokes_lock_timeout(self):
+        """Many writers on one table with a tiny budget: some must time out,
+        and every timeout must leave the database consistent."""
+        database = Database(lock_timeout=0.05)
+        database.execute("CREATE TABLE hot (id INTEGER PRIMARY KEY, v INTEGER)")
+        threads = 6
+        per_thread = 5
+        timeouts = []
+        committed = []
+        guard = threading.Lock()
+        barrier = threading.Barrier(threads)
+
+        def worker(base):
+            barrier.wait(timeout=10)
+            for i in range(per_thread):
+                key = base * per_thread + i
+                try:
+                    with database.transaction():
+                        database.execute(
+                            "INSERT INTO hot VALUES (?, ?)", [key, base]
+                        )
+                        time.sleep(0.02)  # hold the write lock
+                except LockTimeoutError:
+                    with guard:
+                        timeouts.append(key)
+                else:
+                    with guard:
+                        committed.append(key)
+
+        pool = [threading.Thread(target=worker, args=(n,))
+                for n in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(timeout=60)
+        assert timeouts, "contention never produced a LockTimeoutError"
+        assert committed, "no writer ever got through"
+        rows = database.execute("SELECT id FROM hot").rows
+        assert sorted(row[0] for row in rows) == sorted(committed)
+
+    def test_timed_out_statement_keeps_connection_usable(self):
+        database = Database(lock_timeout=0.05)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        locked = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with database.transaction():
+                database.execute("INSERT INTO t VALUES (?)", [1])
+                locked.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert locked.wait(timeout=5)
+        try:
+            with pytest.raises(LockTimeoutError):
+                database.execute("INSERT INTO t VALUES (?)", [2])
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        # lock released; the same thread can write again
+        database.execute("INSERT INTO t VALUES (?)", [3])
+        assert len(database.execute("SELECT id FROM t").rows) == 2
+
+
+class TestWireLockTimeout:
+    @pytest.fixture
+    def server(self):
+        store = build_store("tinker")
+        store.database.locks.timeout = 0.1  # tight budget for the test
+        server = SQLGraphServer(store, port=0, max_workers=4,
+                                max_queue=4).start()
+        yield server
+        server.shutdown(drain_timeout_s=1.0)
+
+    def test_remote_lock_timeout_is_retryable(self, server):
+        with SQLGraphClient("127.0.0.1", server.port) as holder, \
+                SQLGraphClient("127.0.0.1", server.port, retries=0) as victim:
+            holder.begin()
+            holder.sql("INSERT INTO va VALUES (?, ?)", [70001, {"k": "v"}])
+            with pytest.raises(WireError) as excinfo:
+                victim.sql("INSERT INTO va VALUES (?, ?)", [70002, {"k": "v"}])
+            assert excinfo.value.code == protocol.LOCK_TIMEOUT
+            assert excinfo.value.retryable is True
+            holder.rollback()
+            # after release the same statement goes through
+            victim.sql("INSERT INTO va VALUES (?, ?)", [70002, {"k": "v"}])
+            assert victim.sql(
+                "SELECT COUNT(*) FROM va WHERE vid = 70002"
+            ).scalar() == 1
+
+    def test_statement_timeout_elevates_lock_timeout(self, server):
+        with SQLGraphClient("127.0.0.1", server.port) as holder, \
+                SQLGraphClient("127.0.0.1", server.port, retries=0) as victim:
+            victim.set_statement_timeout(30)  # 30ms < 100ms lock budget
+            holder.begin()
+            holder.sql("INSERT INTO va VALUES (?, ?)", [70003, {"k": "v"}])
+            before = server.statement_timeouts
+            with pytest.raises(WireError) as excinfo:
+                victim.sql("INSERT INTO va VALUES (?, ?)", [70004, {"k": "v"}])
+            assert excinfo.value.code == protocol.STATEMENT_TIMEOUT
+            assert excinfo.value.retryable is True
+            assert server.statement_timeouts > before
+            holder.rollback()

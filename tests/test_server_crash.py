@@ -1,0 +1,164 @@
+"""Server crash-safety: kill -9 mid-workload, graceful SIGTERM.
+
+The contract under test: once the server acknowledges a commit over the
+wire, that commit survives ``kill -9`` of the server process.  Even under
+``REPRO_WAL_FSYNC=group`` this holds for process death (the WAL always
+*flushes* to the OS at the commit point; only power failure can lose the
+group-fsync window) — the same differential oracle style as
+``tests/crashkit.py``, but across a real process boundary.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.client import ClientError, SQLGraphClient
+from repro.server.protocol import WireError
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="POSIX signals required"
+)
+
+
+def _spawn_server(path, *extra, fsync="group"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["REPRO_WAL_FSYNC"] = fsync
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0",
+         "--path", str(path), "--dataset", "tinker", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    line = proc.stdout.readline().strip()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to boot: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+def _wait_port_free(port, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+        except OSError:
+            return
+        time.sleep(0.05)
+
+
+class TestKillNine:
+    def test_acknowledged_commits_survive_sigkill(self, tmp_path):
+        proc, port = _spawn_server(tmp_path / "store")
+        acknowledged = []
+        ack_guard = threading.Lock()
+        stop = threading.Event()
+
+        def writer(base):
+            client = SQLGraphClient("127.0.0.1", port, retries=0)
+            vid = 50000 + base * 1000
+            try:
+                client.connect()
+                while not stop.is_set():
+                    vid += 1
+                    try:
+                        with client.transaction():
+                            client.sql(
+                                "INSERT INTO va VALUES (?, ?)",
+                                [vid, {"writer": str(base)}],
+                            )
+                    except (ClientError, WireError, OSError):
+                        return  # commit unacknowledged: not recorded
+                    with ack_guard:
+                        acknowledged.append(vid)
+            except (ClientError, WireError, OSError):
+                return
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=writer, args=(n,))
+                   for n in range(3)]
+        for thread in threads:
+            thread.start()
+
+        # let the workload build up, then pull the plug mid-flight
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with ack_guard:
+                if len(acknowledged) >= 30:
+                    break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        with ack_guard:
+            acked = sorted(acknowledged)
+        assert len(acked) >= 30, "workload never got going before the kill"
+        _wait_port_free(port)
+
+        # recovery: a fresh server on the same path must see every
+        # acknowledged commit (differential: acked ⊆ recovered)
+        proc2, port2 = _spawn_server(tmp_path / "store")
+        try:
+            with SQLGraphClient("127.0.0.1", port2) as client:
+                recovered = {
+                    row[0] for row in client.sql(
+                        "SELECT vid FROM va WHERE vid >= 50000"
+                    ).rows
+                }
+            lost = [vid for vid in acked if vid not in recovered]
+            assert not lost, (
+                f"{len(lost)} acknowledged commits lost after kill -9: "
+                f"{lost[:10]}"
+            )
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=15) == 0
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        proc, port = _spawn_server(tmp_path / "store")
+        with SQLGraphClient("127.0.0.1", port) as client:
+            with client.transaction():
+                client.sql(
+                    "INSERT INTO va VALUES (?, ?)", [60001, {"pre": "term"}]
+                )
+            proc.send_signal(signal.SIGTERM)
+            # in-flight session is notified with a typed SHUTTING_DOWN error
+            with pytest.raises((WireError, ClientError)):
+                for __ in range(50):
+                    client.ping()
+                    time.sleep(0.1)
+        assert proc.wait(timeout=15) == 0
+        output = proc.stdout.read()
+        assert "draining" in output
+        assert "bye" in output
+        _wait_port_free(port)
+
+        # the pre-shutdown commit survived the checkpoint-and-close
+        proc2, port2 = _spawn_server(tmp_path / "store")
+        try:
+            with SQLGraphClient("127.0.0.1", port2) as client:
+                assert client.sql(
+                    "SELECT COUNT(*) FROM va WHERE vid = 60001"
+                ).scalar() == 1
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=15) == 0
+
+    def test_sigterm_with_no_sessions_exits_promptly(self, tmp_path):
+        proc, __port = _spawn_server(tmp_path / "store")
+        started = time.monotonic()
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=15) == 0
+        assert time.monotonic() - started < 10.0

@@ -1,0 +1,280 @@
+"""Wire-protocol framing and handshake edge cases.
+
+Covers the hostile-input surface of :mod:`repro.server.protocol`: torn
+frames, oversized frames, garbage bytes, CRC corruption, protocol-version
+mismatch at handshake, and half-open connection reaping.
+"""
+
+import socket
+import struct
+import threading
+import time
+import zlib
+
+import pytest
+
+from repro.cli import build_store
+from repro.client import ClientError, SQLGraphClient
+from repro.server import (
+    FrameAssembler,
+    FrameError,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SQLGraphServer,
+    WireError,
+)
+from repro.server import protocol
+from repro.server.protocol import (
+    RETRYABLE_CODES,
+    code_for_exception,
+    decode_payload,
+    encode_frame,
+    error_payload,
+)
+from repro.relational.errors import (
+    BindError,
+    CatalogError,
+    LockTimeoutError,
+    SqlSyntaxError,
+    TransactionError,
+)
+from repro.gremlin.errors import GremlinError
+
+
+# ---------------------------------------------------------------------------
+# pure framing (no sockets)
+# ---------------------------------------------------------------------------
+class TestFrameAssembler:
+    def test_roundtrip(self):
+        assembler = FrameAssembler()
+        message = {"op": "ping", "id": 7, "nested": {"a": [1, 2, None]}}
+        assembler.feed(encode_frame(message))
+        assert assembler.next_message() == message
+        assert assembler.next_message() is None
+
+    def test_torn_frame_reassembles_byte_by_byte(self):
+        assembler = FrameAssembler()
+        frame = encode_frame({"op": "ping", "id": 1})
+        for offset in range(len(frame) - 1):
+            assembler.feed(frame[offset:offset + 1])
+            assert assembler.next_message() is None
+        assembler.feed(frame[-1:])
+        assert assembler.next_message() == {"op": "ping", "id": 1}
+
+    def test_two_frames_in_one_feed(self):
+        assembler = FrameAssembler()
+        assembler.feed(encode_frame({"id": 1}) + encode_frame({"id": 2}))
+        assert assembler.next_message() == {"id": 1}
+        assert assembler.next_message() == {"id": 2}
+        assert assembler.next_message() is None
+
+    def test_oversized_frame_rejected(self):
+        assembler = FrameAssembler()
+        header = struct.pack("<II", MAX_FRAME_BYTES + 1, 0)
+        assembler.feed(header)
+        with pytest.raises(FrameError, match="oversized"):
+            assembler.next_message()
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 16)})
+
+    def test_crc_mismatch_rejected(self):
+        frame = bytearray(encode_frame({"op": "ping"}))
+        frame[-1] ^= 0xFF  # flip a payload bit; CRC no longer matches
+        assembler = FrameAssembler()
+        assembler.feed(bytes(frame))
+        with pytest.raises(FrameError, match="CRC"):
+            assembler.next_message()
+
+    def test_garbage_payload_with_valid_crc_rejected(self):
+        payload = b"\x00\xffnot json"
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        assembler = FrameAssembler()
+        assembler.feed(frame)
+        with pytest.raises(FrameError, match="undecodable"):
+            assembler.next_message()
+
+    def test_decode_payload_requires_object(self):
+        payload = b"[1, 2, 3]"
+        with pytest.raises(FrameError, match="object"):
+            decode_payload(payload)
+
+
+class TestErrorCodes:
+    def test_retryable_set_is_closed(self):
+        assert RETRYABLE_CODES == {
+            protocol.SERVER_BUSY,
+            protocol.SHUTTING_DOWN,
+            protocol.LOCK_TIMEOUT,
+            protocol.STATEMENT_TIMEOUT,
+        }
+
+    def test_error_payload_carries_retryable_flag(self):
+        busy = error_payload(protocol.SERVER_BUSY, "busy")
+        assert busy["retryable"] is True
+        syntax = error_payload(protocol.SQL_SYNTAX, "nope")
+        assert syntax["retryable"] is False
+
+    @pytest.mark.parametrize("exc,code", [
+        (LockTimeoutError("t"), protocol.LOCK_TIMEOUT),
+        (SqlSyntaxError("t"), protocol.SQL_SYNTAX),
+        (BindError("t"), protocol.BIND_ERROR),
+        (CatalogError("t"), protocol.CATALOG_ERROR),
+        (TransactionError("t"), protocol.TRANSACTION_ERROR),
+        (GremlinError("t"), protocol.GREMLIN_ERROR),
+        (RuntimeError("t"), protocol.INTERNAL_ERROR),
+    ])
+    def test_exception_mapping(self, exc, code):
+        assert code_for_exception(exc) == code
+
+    def test_wire_error_roundtrip(self):
+        payload = error_payload(protocol.LOCK_TIMEOUT, "lock wait timed out")
+        error = WireError.from_payload(payload)
+        assert error.code == protocol.LOCK_TIMEOUT
+        assert error.retryable is True
+        assert "lock wait" in str(error)
+
+
+# ---------------------------------------------------------------------------
+# live server: hostile clients
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    store = build_store("tinker")
+    server = SQLGraphServer(
+        store, port=0, max_workers=2, max_queue=2, idle_timeout_s=0.5
+    ).start()
+    yield server
+    server.shutdown(drain_timeout_s=1.0)
+
+
+def _raw_connection(server):
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=5.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _recv_reply(sock):
+    assembler = FrameAssembler()
+    sock.settimeout(5.0)
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        assembler.feed(chunk)
+        message = assembler.next_message()
+        if message is not None:
+            return message
+
+
+class TestHandshake:
+    def test_version_mismatch_rejected(self, server):
+        with _raw_connection(server) as sock:
+            sock.sendall(encode_frame({
+                "op": "hello", "protocol": PROTOCOL_VERSION + 1,
+            }))
+            reply = _recv_reply(sock)
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.UNSUPPORTED_PROTOCOL
+        assert str(PROTOCOL_VERSION) in reply["error"]["message"]
+
+    def test_first_frame_must_be_hello(self, server):
+        with _raw_connection(server) as sock:
+            sock.sendall(encode_frame({"op": "ping", "id": 1}))
+            reply = _recv_reply(sock)
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.PROTOCOL_ERROR
+
+    def test_client_surfaces_version_mismatch(self, server, monkeypatch):
+        import repro.client as client_module
+        monkeypatch.setattr(client_module, "PROTOCOL_VERSION", 99)
+        with pytest.raises(WireError) as excinfo:
+            SQLGraphClient("127.0.0.1", server.port).connect()
+        assert excinfo.value.code == protocol.UNSUPPORTED_PROTOCOL
+
+
+class TestHostileFrames:
+    def test_garbage_after_handshake_gets_protocol_error(self, server):
+        with _raw_connection(server) as sock:
+            sock.sendall(encode_frame({
+                "op": "hello", "protocol": PROTOCOL_VERSION,
+            }))
+            hello = _recv_reply(sock)
+            assert hello["op"] == "hello"
+            payload = b"garbage"
+            sock.sendall(
+                struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+            )
+            reply = _recv_reply(sock)
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.PROTOCOL_ERROR
+
+    def test_oversized_frame_header_closes_connection(self, server):
+        before = server.protocol_errors
+        with _raw_connection(server) as sock:
+            sock.sendall(encode_frame({
+                "op": "hello", "protocol": PROTOCOL_VERSION,
+            }))
+            _recv_reply(sock)
+            sock.sendall(struct.pack("<II", MAX_FRAME_BYTES + 1, 0))
+            reply = _recv_reply(sock)
+            assert reply["error"]["code"] == protocol.PROTOCOL_ERROR
+            # server hangs up after a framing violation
+            sock.settimeout(5.0)
+            assert sock.recv(65536) == b""
+        assert server.protocol_errors > before
+
+    def test_corrupt_crc_midstream(self, server):
+        with _raw_connection(server) as sock:
+            sock.sendall(encode_frame({
+                "op": "hello", "protocol": PROTOCOL_VERSION,
+            }))
+            _recv_reply(sock)
+            frame = bytearray(encode_frame({"op": "ping", "id": 1}))
+            frame[-1] ^= 0xFF
+            sock.sendall(bytes(frame))
+            reply = _recv_reply(sock)
+        assert reply["error"]["code"] == protocol.PROTOCOL_ERROR
+
+
+class TestHalfOpenReaping:
+    def test_idle_session_is_reaped(self, server):
+        before = server.idle_reaped
+        with _raw_connection(server) as sock:
+            sock.sendall(encode_frame({
+                "op": "hello", "protocol": PROTOCOL_VERSION,
+            }))
+            _recv_reply(sock)
+            # go silent: the 0.5s idle timeout must reap us
+            reply = _recv_reply(sock)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == protocol.SESSION_IDLE
+            sock.settimeout(5.0)
+            assert sock.recv(65536) == b""
+        assert server.idle_reaped > before
+
+    def test_reaped_transaction_is_rolled_back(self, server):
+        store = server.store
+        baseline = store.execute_sql(
+            "SELECT COUNT(*) FROM va WHERE vid >= 0"
+        ).rows[0][0]
+        client = SQLGraphClient("127.0.0.1", server.port).connect()
+        client.begin()
+        client.sql("INSERT INTO va VALUES (?, ?)", [9001, {"ghost": "yes"}])
+        # abandon the connection without commit; wait out the reaper
+        deadline = time.monotonic() + 5.0
+        session_id = client.session_id
+        abandoned = client._sock  # keep the fd open: half-open from server's view
+        client._sock = None
+        assert abandoned is not None
+        while time.monotonic() < deadline:
+            if all(s["id"] != session_id for s in server.active_sessions()):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("session was never reaped")
+        after = store.execute_sql(
+            "SELECT COUNT(*) FROM va WHERE vid >= 0"
+        ).rows[0][0]
+        assert after == baseline
