@@ -1,0 +1,135 @@
+"""Markdown docs drift checker (rule ``docs-links``).
+
+Formerly the standalone ``tools/check_docs_links.py``; folded into
+reprolint so there is one analysis entry point.  Three kinds of drift
+are caught across the repo-root and ``docs/`` markdown files:
+
+1. **Markdown links** — ``[text](path)`` whose relative target does not
+   exist (external ``http(s)://`` / ``mailto:`` and pure ``#anchor``
+   links are skipped).
+2. **Inline file paths** — backticked references like
+   ``src/repro/cli.py`` that point at files which are gone.
+3. **CLI commands** — backticked ``:command`` references (``:explain``,
+   ``:stats``, ...) that the shell in ``src/repro/cli.py`` no longer
+   dispatches.
+
+``tools/check_docs_links.py`` remains as a thin wrapper over
+:func:`run` for back-compatibility with ``tests/test_docs_links.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from repro.analysis.core import Finding, rule
+
+#: markdown files to check: repo root + docs/
+MARKDOWN_GLOBS = ("*.md", "docs/*.md")
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: backticked repo-relative file path, e.g. `src/repro/cli.py`
+INLINE_PATH = re.compile(
+    r"`((?:src|tests|benchmarks|docs|examples|tools)/[A-Za-z0-9_./-]+"
+    r"\.[A-Za-z0-9]+)`"
+)
+
+#: backticked CLI command, e.g. `:translate` — also matches the command
+#: at the start of a longer backticked example like `:sql SELECT ...`
+INLINE_CLI_COMMAND = re.compile(r"`(:[a-z]+)[ `]")
+
+#: ``:name`` commands the shell implements, read from the source
+CLI_COMMAND_PATTERN = re.compile(r"\"(:[a-z]+)\"")
+
+
+def markdown_files(root):
+    files = []
+    for pattern in MARKDOWN_GLOBS:
+        files.extend(sorted(pathlib.Path(root).glob(pattern)))
+    return files
+
+
+def cli_commands(root):
+    """The set of ``:name`` commands src/repro/cli.py dispatches on."""
+    source_path = pathlib.Path(root) / "src/repro/cli.py"
+    if not source_path.exists():
+        return None
+    return set(CLI_COMMAND_PATTERN.findall(source_path.read_text()))
+
+
+def check_file(root, path, commands):
+    """``(line, problem)`` pairs for one markdown file."""
+    root = pathlib.Path(root)
+    problems = []
+    text = path.read_text()
+    base = path.parent
+
+    def line_of(match):
+        return text.count("\n", 0, match.start()) + 1
+
+    for match in MARKDOWN_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if not (base / target).exists() and not (root / target).exists():
+            problems.append((line_of(match), f"dead link: ({match.group(1)})"))
+
+    for match in INLINE_PATH.finditer(text):
+        target = match.group(1)
+        if target.endswith(".txt"):
+            continue  # benchmark outputs are generated, not committed
+        if not (root / target).exists():
+            problems.append(
+                (line_of(match), f"missing file reference: `{target}`")
+            )
+
+    for match in INLINE_CLI_COMMAND.finditer(text):
+        command = match.group(1)
+        if commands is not None and command not in commands:
+            problems.append((
+                line_of(match),
+                f"unknown CLI command `{command}` "
+                f"(not dispatched in src/repro/cli.py)",
+            ))
+
+    return problems
+
+
+def run(root):
+    """Check every markdown file; returns ``{relative_path: [problems]}``.
+
+    The legacy report shape (problem strings without line numbers), kept
+    for ``tools/check_docs_links.py`` and its test.
+    """
+    root = pathlib.Path(root)
+    commands = cli_commands(root)
+    report = {}
+    for path in markdown_files(root):
+        problems = [p for _line, p in check_file(root, path, commands)]
+        if problems:
+            report[str(path.relative_to(root))] = problems
+    return report
+
+
+@rule(
+    "docs-links",
+    scope="project",
+    description="markdown docs must not reference dead links, missing "
+    "files, or CLI commands the shell no longer dispatches",
+)
+def check_docs_links(context):
+    root = context.root
+    commands = cli_commands(root)
+    findings = []
+    for path in markdown_files(root):
+        relative = str(path.relative_to(root))
+        for line, problem in check_file(root, path, commands):
+            findings.append(Finding(
+                "docs-links", relative, line, problem,
+                symbol=problem,
+            ))
+    return findings

@@ -1,0 +1,223 @@
+"""Durability and hygiene rules.
+
+* ``raw-table-mutation`` — ``apply_insert`` / ``apply_update`` /
+  ``apply_delete`` are the *physical redo* entry points on HeapTable:
+  they bypass ``txn_source`` undo capture and WAL logging by design, so
+  only the storage/recovery layer may call them.  Anywhere else, a call
+  is an update that would neither roll back nor survive a crash.
+* ``wal-order`` — write-ahead means *ahead*: within a function, a
+  ``wal.append(...)`` that happens after ``wal.commit_point()`` logs the
+  record on the wrong side of the durability boundary (a crash between
+  the two acknowledges a commit whose record was never written).
+* ``broad-except`` — ``except Exception:`` (or bare ``except:``) that
+  does not re-raise swallows programming errors indistinguishably from
+  expected failures.  Handlers containing a bare ``raise`` pass; every
+  other site must narrow the type or carry a justified suppression.
+* ``mutable-default`` — mutable default arguments (``[]``, ``{}``,
+  ``set()``…) are shared across calls; the classic footgun.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, rule
+
+#: files allowed to perform physical (redo-level) table mutation
+_PHYSICAL_LAYER = (
+    "relational/table.py",
+    "relational/recovery.py",
+    "relational/pages.py",
+)
+
+_APPLY_METHODS = {"apply_insert", "apply_update", "apply_delete"}
+
+
+def _qualnames(tree):
+    """node -> dotted name of the enclosing class/function scope."""
+    names = {}
+
+    def visit(node, stack):
+        label = stack[-1] if stack else "<module>"
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qual = f"{stack[-1]}.{child.name}" if stack else child.name
+                visit(child, stack + [qual])
+            else:
+                names[child] = label
+                visit(child, stack)
+        names[node] = label
+
+    visit(tree, [])
+    return names
+
+
+def _receiver_tail(call):
+    """Last dotted component of a call's receiver (``a.b.wal`` -> ``wal``)."""
+    fn = call.func
+    if not isinstance(fn, ast.Attribute):
+        return None
+    receiver = fn.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr
+    return None
+
+
+@rule(
+    "raw-table-mutation",
+    scope="file",
+    description="HeapTable.apply_* bypasses txn_source undo capture and the "
+    "WAL; only table.py/recovery.py/pages.py may call it",
+)
+def check_raw_table_mutation(source_file):
+    if source_file.relative.endswith(_PHYSICAL_LAYER):
+        return []
+    findings = []
+    names = None
+    for node in ast.walk(source_file.tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _APPLY_METHODS:
+            if names is None:
+                names = _qualnames(source_file.tree)
+            scope = names.get(node, "<module>")
+            findings.append(Finding(
+                "raw-table-mutation", source_file.relative, node.lineno,
+                f"{scope} calls {node.func.attr}(), which bypasses undo "
+                f"capture and WAL logging; use insert/update/delete or move "
+                f"the code into the recovery layer",
+                symbol=f"{scope}:{node.func.attr}",
+            ))
+    return findings
+
+
+@rule(
+    "wal-order",
+    scope="file",
+    description="wal.append() after wal.commit_point() in the same function "
+    "logs on the wrong side of the durability boundary",
+)
+def check_wal_order(source_file):
+    findings = []
+    for node in ast.walk(source_file.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        commit_line = None
+        for call in ast.walk(node):
+            if not (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)):
+                continue
+            if _receiver_tail(call) != "wal":
+                continue
+            if call.func.attr == "commit_point":
+                if commit_line is None or call.lineno < commit_line:
+                    commit_line = call.lineno
+        if commit_line is None:
+            continue
+        for call in ast.walk(node):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "append"
+                and _receiver_tail(call) == "wal"
+                and call.lineno > commit_line
+            ):
+                findings.append(Finding(
+                    "wal-order", source_file.relative, call.lineno,
+                    f"wal.append() at line {call.lineno} follows "
+                    f"wal.commit_point() at line {commit_line} in "
+                    f"{node.name}; the record must be logged before the "
+                    f"commit point",
+                    symbol=f"{node.name}:append-after-commit",
+                ))
+    return findings
+
+
+def _is_broad(handler):
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    elif isinstance(handler.type, ast.Tuple):
+        names = [e.id for e in handler.type.elts if isinstance(e, ast.Name)]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _reraises(handler):
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@rule(
+    "broad-except",
+    scope="file",
+    description="'except Exception:' that does not re-raise swallows "
+    "programming errors; narrow the type or justify a suppression",
+)
+def check_broad_except(source_file):
+    findings = []
+    names = None
+    for node in ast.walk(source_file.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node) or _reraises(node):
+            continue
+        if names is None:
+            names = _qualnames(source_file.tree)
+        scope = names.get(node, "<module>")
+        caught = "bare except" if node.type is None else "except Exception"
+        findings.append(Finding(
+            "broad-except", source_file.relative, node.lineno,
+            f"{scope} has a broad '{caught}:' handler that does not "
+            f"re-raise; narrow the exception type or suppress with a reason",
+            symbol=f"{scope}:{caught}",
+        ))
+    return findings
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict"}
+
+
+def _is_mutable_default(node):
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@rule(
+    "mutable-default",
+    scope="file",
+    description="mutable default arguments are shared across calls",
+)
+def check_mutable_default(source_file):
+    findings = []
+    for node in ast.walk(source_file.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arguments = node.args
+        defaults = list(arguments.defaults) + [
+            default for default in arguments.kw_defaults if default is not None
+        ]
+        positional = arguments.posonlyargs + arguments.args
+        named = positional[len(positional) - len(arguments.defaults):] \
+            + [argument for argument, default
+               in zip(arguments.kwonlyargs, arguments.kw_defaults)
+               if default is not None]
+        for argument, default in zip(named, defaults):
+            if _is_mutable_default(default):
+                findings.append(Finding(
+                    "mutable-default", source_file.relative, default.lineno,
+                    f"{node.name}() argument '{argument.arg}' has a mutable "
+                    f"default; use None and allocate inside the body",
+                    symbol=f"{node.name}:{argument.arg}",
+                ))
+    return findings

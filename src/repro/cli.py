@@ -46,6 +46,8 @@ import sys
 
 from repro.core import SQLGraphStore
 from repro.datasets import dbpedia, linkbench
+from repro.gremlin.errors import GremlinError
+from repro.relational.errors import EngineError
 from repro.datasets.tinker import paper_figure_graph, tinkerpop_classic
 
 
@@ -112,7 +114,7 @@ def _execute_command(store, line):
             return "usage: :translate <gremlin query>"
         try:
             return store.translate(argument)
-        except Exception as exc:
+        except (GremlinError, EngineError) as exc:
             return f"cannot translate: {type(exc).__name__}: {exc}"
     if command == ":explain":
         return _explain(store, argument, analyze=False)
@@ -161,12 +163,12 @@ def _explain(store, argument, analyze):
         return f"usage: {name} <gremlin query>"
     try:
         sql = store.translate(argument)
-    except Exception as exc:
+    except (GremlinError, EngineError) as exc:
         return f"cannot translate: {type(exc).__name__}: {exc}"
     keyword = "EXPLAIN ANALYZE " if analyze else "EXPLAIN "
     try:
         result = store.database.execute(keyword + sql)
-    except Exception as exc:
+    except EngineError as exc:
         return f"cannot explain: {type(exc).__name__}: {exc}"
     return "\n".join(row[0] for row in result.rows)
 
@@ -336,7 +338,7 @@ def main(argv=None):
                 output = execute_line(store, line)
             except SystemExit:
                 return 0
-            except Exception as exc:  # surface, keep the shell alive
+            except Exception as exc:  # reprolint: disable=broad-except -- REPL top level: surface anything, keep the shell alive
                 output = f"error: {type(exc).__name__}: {exc}"
             if output:
                 print(output)

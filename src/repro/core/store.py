@@ -102,16 +102,16 @@ class SQLGraphStore(GraphInterface):
         #: on the store (and persisted) because a reopened store has no
         #: loader instance
         self.load_report = None
-        self._next_vertex_id = 1
-        self._next_edge_id = 1
         # id allocation, translated-query counter and the slow-query log
         # are shared by every server session; one small guard covers them
         self._mutation_lock = threading.Lock()
+        self._next_vertex_id = 1  # guarded-by: _mutation_lock
+        self._next_edge_id = 1  # guarded-by: _mutation_lock
         self._local = threading.local()
         self._attribute_indexes = []  # (element, key, sorted_index)
-        self.queries_translated = 0
+        self.queries_translated = 0  # guarded-by: _mutation_lock
         self.slow_query_threshold = slow_query_threshold
-        self.slow_query_log = []
+        self.slow_query_log = []  # guarded-by: _mutation_lock
         if path is not None and self.database.get_meta(self.META_KEY):
             self._restore_from_meta()
 
@@ -153,8 +153,9 @@ class SQLGraphStore(GraphInterface):
         )
         vertex_ids = [vertex.id for vertex in graph.vertices()]
         edge_ids = [edge.id for edge in graph.edges()]
-        self._next_vertex_id = max(vertex_ids, default=0) + 1
-        self._next_edge_id = max(edge_ids, default=0) + 1
+        with self._mutation_lock:
+            self._next_vertex_id = max(vertex_ids, default=0) + 1
+            self._next_edge_id = max(edge_ids, default=0) + 1
         self._persist_meta()
         return self.loader.report
 
@@ -220,8 +221,9 @@ class SQLGraphStore(GraphInterface):
         max_eid = self.database.execute(
             f"SELECT MAX(eid) FROM {names['ea']}"
         ).scalar()
-        self._next_vertex_id = max(max_vid or 0, 0) + 1
-        self._next_edge_id = max(max_eid or 0, 0) + 1
+        with self._mutation_lock:
+            self._next_vertex_id = max(max_vid or 0, 0) + 1
+            self._next_edge_id = max(max_eid or 0, 0) + 1
 
     def _recover_lid_start(self):
         """Highest multi-value list id in use (from OSA/ISA markers)."""

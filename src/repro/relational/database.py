@@ -241,7 +241,7 @@ class Database:
         self.locks = LockManager(lock_timeout)
         self.planner_options = dict(planner_options or {})
         self._local = threading.local()
-        self.statements_executed = 0
+        self.statements_executed = 0  # guarded-by: _txn_guard
         #: monotonic counter bumped by every DDL statement; prepared plans
         #: cached under an older epoch are invalid.
         self.schema_epoch = 0
@@ -257,9 +257,9 @@ class Database:
         self.meta = {}
         self.path = path
         self.wal = None
-        self._next_txid = 1
-        self._active_txns = set()
         self._txn_guard = threading.Lock()
+        self._next_txid = 1  # guarded-by: _txn_guard
+        self._active_txns = set()  # guarded-by: _txn_guard
         self._wal_checkpoint_every = 0
         if path is not None:
             self._open_durable(
@@ -325,7 +325,8 @@ class Database:
         execution only; the cached AST is never mutated."""
         prepared = self._prepare(sql)
         statement = prepared.statement
-        self.statements_executed += 1
+        with self._txn_guard:
+            self.statements_executed += 1
         self._local.sql = sql.strip()
         read_tables = prepared.read_tables
         write_tables = prepared.write_tables

@@ -49,9 +49,9 @@ class ReadWriteLock:
     def __init__(self, name=""):
         self.name = name
         self._condition = threading.Condition()
-        self._readers = 0
-        self._writer = False
-        self._waiting_writers = 0
+        self._readers = 0  # guarded-by: _condition
+        self._writer = False  # guarded-by: _condition
+        self._waiting_writers = 0  # guarded-by: _condition
 
     def acquire_read(self, timeout=None):
         with self._condition:
@@ -111,8 +111,8 @@ class LockManager:
 
     def __init__(self, timeout=None):
         self.timeout = resolve_lock_timeout(timeout)
-        self._locks: dict[str, ReadWriteLock] = {}
         self._guard = threading.Lock()
+        self._locks: dict[str, ReadWriteLock] = {}  # guarded-by: _guard
         self._local = threading.local()
         self.catalog_lock = ReadWriteLock("<catalog>")
 

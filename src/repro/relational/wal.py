@@ -157,7 +157,7 @@ def scan_log(path):
             break
         try:
             lsn, kind, txid, data = pickle.loads(payload)
-        except Exception:
+        except Exception:  # reprolint: disable=broad-except -- torn-tail detection: any unpickling failure means a partial write, by design
             torn = TornTail(offset, "undecodable payload")
             break
         records.append((lsn, kind, txid, data, end))
@@ -183,16 +183,18 @@ class WriteAheadLog:
         self._file = None
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._last_fsync = 0.0
-        self._unsynced = False
-        self.last_lsn = 0
-        # always-on counters (registry mirrors only touched when enabled)
-        self.records = 0
-        self.fsyncs = 0
+        self._last_fsync = 0.0  # guarded-by: _lock
+        self._unsynced = False  # guarded-by: _lock
+        self.last_lsn = 0  # guarded-by: _lock
+        # always-on counters (registry mirrors only touched when enabled);
+        # replayed/torn_dropped are only written during single-threaded
+        # recovery, so they stay outside the lock discipline
+        self.records = 0  # guarded-by: _lock
+        self.fsyncs = 0  # guarded-by: _lock
         self.replayed = 0
         self.torn_dropped = 0
-        self.checkpoints = 0
-        self.records_since_checkpoint = 0
+        self.checkpoints = 0  # guarded-by: _lock
+        self.records_since_checkpoint = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -205,7 +207,8 @@ class WriteAheadLog:
         :param next_lsn: continue LSN numbering from here.
         """
         if next_lsn is not None:
-            self.last_lsn = max(self.last_lsn, next_lsn - 1)
+            with self._lock:
+                self.last_lsn = max(self.last_lsn, next_lsn - 1)
         mode = "r+b" if os.path.exists(self.path) else "w+b"
         self._file = open(self.path, mode)
         if append_at is not None:
@@ -319,7 +322,7 @@ class WriteAheadLog:
         with self._lock:
             self._fsync_locked()
 
-    def _fsync_locked(self):
+    def _fsync_locked(self):  # holds: _lock
         if self._file is None:
             return
         os.fsync(self._file.fileno())
@@ -358,13 +361,14 @@ class WriteAheadLog:
     # introspection
     # ------------------------------------------------------------------
     def stats(self):
-        return {
-            "records": self.records,
-            "fsyncs": self.fsyncs,
-            "replayed": self.replayed,
-            "torn_dropped": self.torn_dropped,
-            "checkpoints": self.checkpoints,
-            "records_since_checkpoint": self.records_since_checkpoint,
-            "fsync_mode": self.fsync_mode,
-            "last_lsn": self.last_lsn,
-        }
+        with self._lock:
+            return {
+                "records": self.records,
+                "fsyncs": self.fsyncs,
+                "replayed": self.replayed,
+                "torn_dropped": self.torn_dropped,
+                "checkpoints": self.checkpoints,
+                "records_since_checkpoint": self.records_since_checkpoint,
+                "fsync_mode": self.fsync_mode,
+                "last_lsn": self.last_lsn,
+            }

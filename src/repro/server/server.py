@@ -98,26 +98,30 @@ class SQLGraphServer:
         self._accept_thread = None
         self._workers = []
         self._pending = queue.Queue(maxsize=max(1, max_queue))
-        self._sessions = {}
         self._sessions_guard = threading.Lock()
-        self._next_session_id = 1
+        self._sessions = {}  # guarded-by: _sessions_guard
+        self._next_session_id = 1  # guarded-by: _sessions_guard
         self._started = threading.Event()
         self._draining = threading.Event()
         self._stopped = threading.Event()
         self._drain_deadline = None
 
         # always-on serving counters; mirrored into ENGINE_METRICS (the
-        # PR 1 registry) when it is enabled, like the WAL/cache counters
-        self.requests_served = 0
-        self.errors_returned = 0
-        self.rejected_busy = 0
-        self.rejected_shutdown = 0
-        self.idle_reaped = 0
-        self.statement_timeouts = 0
-        self.sessions_opened = 0
-        self.protocol_errors = 0
-        self.request_latency = TimingHistogram("server.request_seconds")
+        # PR 1 registry) when it is enabled, like the WAL/cache counters.
+        # _count() bumps them via getattr/setattr under the guard, which
+        # the guarded-by checker cannot see through — direct accesses are
+        # what the annotations police.
         self._counters_guard = threading.Lock()
+        self.requests_served = 0  # guarded-by: _counters_guard
+        self.errors_returned = 0  # guarded-by: _counters_guard
+        self.rejected_busy = 0  # guarded-by: _counters_guard
+        self.rejected_shutdown = 0  # guarded-by: _counters_guard
+        self.idle_reaped = 0  # guarded-by: _counters_guard
+        self.statement_timeouts = 0  # guarded-by: _counters_guard
+        self.sessions_opened = 0  # guarded-by: _counters_guard
+        self.protocol_errors = 0  # guarded-by: _counters_guard
+        # guarded-by: _counters_guard
+        self.request_latency = TimingHistogram("server.request_seconds")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -407,7 +411,7 @@ class SQLGraphServer:
         if transaction is not None and transaction.active:
             try:
                 transaction.rollback()
-            except Exception:
+            except Exception:  # reprolint: disable=broad-except -- best-effort rollback while tearing down a dead session; nothing to report to
                 pass
         session.transaction = None
         with self._sessions_guard:
@@ -440,7 +444,7 @@ class SQLGraphServer:
                 self._count("statement_timeouts")
             response = self._error_response(session, request_id, code,
                                             str(exc))
-        except Exception as exc:
+        except Exception as exc:  # reprolint: disable=broad-except -- wire boundary: every failure maps to a typed error frame, never a dropped connection
             response = self._error_response(
                 session, request_id, code_for_exception(exc),
                 f"{type(exc).__name__}: {exc}",
@@ -614,7 +618,25 @@ class SQLGraphServer:
         """JSON-able serving-layer counters (the ``stats`` op payload)."""
         with self._sessions_guard:
             active = len(self._sessions)
-        latency = self.request_latency
+        with self._counters_guard:
+            latency = self.request_latency
+            counters = {
+                "requests": self.requests_served,
+                "errors": self.errors_returned,
+                "rejected_busy": self.rejected_busy,
+                "rejected_shutdown": self.rejected_shutdown,
+                "idle_reaped": self.idle_reaped,
+                "statement_timeouts": self.statement_timeouts,
+                "sessions_opened": self.sessions_opened,
+                "protocol_errors": self.protocol_errors,
+                "latency": {
+                    "count": latency.count,
+                    "mean_ms": latency.mean() * 1000.0,
+                    "p50_ms": latency.quantile(0.5) * 1000.0,
+                    "p95_ms": latency.quantile(0.95) * 1000.0,
+                    "max_ms": (latency.maximum or 0.0) * 1000.0,
+                },
+            }
         return {
             "host": self.host,
             "port": self.port,
@@ -623,21 +645,7 @@ class SQLGraphServer:
             "active_sessions": active,
             "queue_depth": self._pending.qsize(),
             "draining": self._draining.is_set(),
-            "requests": self.requests_served,
-            "errors": self.errors_returned,
-            "rejected_busy": self.rejected_busy,
-            "rejected_shutdown": self.rejected_shutdown,
-            "idle_reaped": self.idle_reaped,
-            "statement_timeouts": self.statement_timeouts,
-            "sessions_opened": self.sessions_opened,
-            "protocol_errors": self.protocol_errors,
-            "latency": {
-                "count": latency.count,
-                "mean_ms": latency.mean() * 1000.0,
-                "p50_ms": latency.quantile(0.5) * 1000.0,
-                "p95_ms": latency.quantile(0.95) * 1000.0,
-                "max_ms": (latency.maximum or 0.0) * 1000.0,
-            },
+            **counters,
         }
 
     def _stats_lines(self, session):

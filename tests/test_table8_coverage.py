@@ -4,52 +4,10 @@ example produces the documented CTE structure."""
 
 import pytest
 
+from repro.analysis.corpus import FIGURE7_EXAMPLES, TABLE8_MATRIX
 from repro.core import SQLGraphStore
 from repro.datasets.tinker import tinkerpop_classic
 from repro.gremlin import GremlinInterpreter, parse_gremlin
-
-# one minimal query per Table 8 row (pipe -> query exercising it)
-TABLE8_MATRIX = {
-    "out": "g.v(1).out",
-    "in": "g.v(3).in",
-    "both": "g.v(4).both",
-    "outV": "g.e(9).outV",
-    "inV": "g.e(9).inV",
-    "bothV": "g.e(9).bothV",
-    "outE": "g.v(1).outE",
-    "inE": "g.v(3).inE",
-    "bothE": "g.v(4).bothE",
-    "range filter": "g.V.range(1, 3).count()",
-    "duplicate filter": "g.v(1).out.in.dedup()",
-    "id filter": "g.V.has('id', 3)",
-    "property filter": "g.V.has('age', T.gte, 29)",
-    "interval filter": "g.V.interval('age', 27, 32)",
-    "label filter": "g.E.has('label', 'created')",
-    "except filter": "g.v(1).out.aggregate(x).out.except(x)",
-    "retain filter": "g.v(1).out.aggregate(x).out.retain(x)",
-    "cyclic path filter": "g.v(1).out.in.cyclicPath.count()",
-    "back filter": "g.V.as('x').out('created').back('x')",
-    "and filter": "g.V.and(_().out('knows'), _().out('created'))",
-    "or filter": "g.V.or(_().has('lang'), _().has('age', T.gt, 33))",
-    "if-then-else": "g.V.ifThenElse{it.age != null}{it.age}{0}",
-    "split-merge": "g.v(1).copySplit(_().out('knows'), _().out('created'))"
-                   ".exhaustMerge()",
-    "loop": "g.v(1).out.loop(1){it.loops < 2}",
-    "as": "g.V.as('here').count()",
-    "aggregate": "g.V.aggregate(all).count()",
-    "select": "g.v(1).as('a').out.as('b').select('a','b')",
-    "path": "g.v(1).out('created').path",
-    "simple path": "g.v(1).out.in.simplePath.count()",
-    "order": "g.V.age.order()",
-    "count": "g.V.count()",
-    "property get": "g.v(1).name",
-    "id get": "g.v(1).out.id",
-    "label get": "g.v(1).outE.label",
-    "table (identity)": "g.V.as('x').table(t).count()",
-    "groupCount (identity)": "g.V.groupCount(m).count()",
-    "sideEffect (identity)": "g.V.sideEffect{it.age > 0}.count()",
-    "iterate (identity)": "g.V.iterate().count()",
-}
 
 
 @pytest.fixture(scope="module")
@@ -94,7 +52,7 @@ def test_figure7_example_structure(pair):
     attribute lookup, OPA/OSA and IPA/ISA branches, UNION ALL, dedup,
     COUNT."""
     store, interpreter = pair
-    text = "g.V.filter{it.tag=='w'}.both.both.dedup().count()"
+    text = FIGURE7_EXAMPLES["figure7 two-step"]
     sql = store.translate(text)
     assert "JSON_VAL(p.attr, 'tag') = 'w'" in sql
     assert "opa" in sql and "LEFT OUTER JOIN osa" in sql
@@ -110,7 +68,7 @@ def test_figure7_single_step_uses_ea_shortcut(pair):
     """With `both` as the only traversal step, the §3.5 optimization kicks
     in: the redundant EA table answers both directions, no OPA/OSA join."""
     store, __ = pair
-    sql = store.translate("g.V.filter{it.tag=='w'}.both.dedup().count()")
+    sql = store.translate(FIGURE7_EXAMPLES["figure7 single-step"])
     assert " ea " in sql
     assert "opa" not in sql and "UNION ALL" in sql
 
@@ -119,7 +77,7 @@ def test_figure7_with_matching_data(pair):
     store, __ = pair
     store.set_vertex_property(1, "tag", "w")
     try:
-        result = store.run("g.V.filter{it.tag=='w'}.both.dedup().count()")
+        result = store.run(FIGURE7_EXAMPLES["figure7 single-step"])
         assert result == [3]  # marko's distinct neighbours
     finally:
         store.procedures.update_vertex(1, {"tag": None})

@@ -1,114 +1,51 @@
 #!/usr/bin/env python3
-"""Check the repo's markdown docs for dead references.
+"""Back-compat wrapper: the docs checker now lives in reprolint.
 
-Three kinds of drift are caught:
-
-1. **Markdown links** — ``[text](path)`` whose relative target does not
-   exist (external ``http(s)://`` / ``mailto:`` links and pure ``#anchor``
-   links are skipped).
-2. **Inline file paths** — backticked references like ``src/repro/cli.py``
-   or ``tests/test_explain.py`` that point at files which are gone.
-3. **CLI commands** — backticked ``:command`` references (``:explain``,
-   ``:stats``, ...) that the shell in ``src/repro/cli.py`` no longer
-   implements.
-
-Run from anywhere::
+The logic moved to :mod:`repro.analysis.docs` (rule ``docs-links``);
+``python tools/reprolint.py`` is the analysis entry point.  This
+wrapper keeps the old command and the ``run()`` API working::
 
     python tools/check_docs_links.py
 
-Exits 0 when clean, 1 with a per-file report otherwise.  Used by CI and
-``tests/test_docs_links.py``.
+Exits 0 when clean, 1 with a per-file report otherwise.
 """
 
 from __future__ import annotations
 
 import pathlib
-import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: markdown files to check: repo root + docs/
-MARKDOWN_GLOBS = ("*.md", "docs/*.md")
-
-MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-
-#: backticked repo-relative file path, e.g. `src/repro/cli.py`
-INLINE_PATH = re.compile(
-    r"`((?:src|tests|benchmarks|docs|examples|tools)/[A-Za-z0-9_./-]+"
-    r"\.[A-Za-z0-9]+)`"
-)
-
-#: backticked CLI command, e.g. `:translate` — also matches the command
-#: at the start of a longer backticked example like `:sql SELECT ...`
-INLINE_CLI_COMMAND = re.compile(r"`(:[a-z]+)[ `]")
-
-#: ``:name`` commands the shell implements, read from the source
-CLI_COMMAND_PATTERN = re.compile(r"\"(:[a-z]+)\"")
-
-
-def markdown_files():
-    files = []
-    for pattern in MARKDOWN_GLOBS:
-        files.extend(sorted(REPO_ROOT.glob(pattern)))
-    return files
-
-
-def cli_commands():
-    """The set of ``:name`` commands src/repro/cli.py dispatches on."""
-    source = (REPO_ROOT / "src/repro/cli.py").read_text()
-    return set(CLI_COMMAND_PATTERN.findall(source))
-
-
-def check_file(path, commands):
-    """Return a list of problem strings for one markdown file."""
-    problems = []
-    text = path.read_text()
-    base = path.parent
-
-    for match in MARKDOWN_LINK.finditer(text):
-        target = match.group(1)
-        if target.startswith(("http://", "https://", "mailto:", "#")):
-            continue
-        target = target.split("#", 1)[0]
-        if not target:
-            continue
-        if not (base / target).exists() and not (REPO_ROOT / target).exists():
-            problems.append(f"dead link: ({match.group(1)})")
-
-    for match in INLINE_PATH.finditer(text):
-        target = match.group(1)
-        if target.endswith(".txt"):
-            continue  # benchmark outputs are generated, not committed
-        if not (REPO_ROOT / target).exists():
-            problems.append(f"missing file reference: `{target}`")
-
-    for match in INLINE_CLI_COMMAND.finditer(text):
-        command = match.group(1)
-        if command not in commands:
-            problems.append(
-                f"unknown CLI command `{command}` "
-                f"(not dispatched in src/repro/cli.py)"
-            )
-
-    return problems
+from repro.analysis import docs  # noqa: E402
 
 
 def run():
     """Check every markdown file; returns ``{relative_path: [problems]}``."""
-    commands = cli_commands()
-    report = {}
-    for path in markdown_files():
-        problems = check_file(path, commands)
-        if problems:
-            report[str(path.relative_to(REPO_ROOT))] = problems
-    return report
+    return docs.run(REPO_ROOT)
+
+
+def cli_commands():
+    """The set of ``:name`` commands src/repro/cli.py dispatches on."""
+    return docs.cli_commands(REPO_ROOT)
+
+
+def check_file(path, commands):
+    """Problem strings for one markdown file (legacy line-less shape)."""
+    return [
+        problem
+        for _line, problem in docs.check_file(
+            REPO_ROOT, pathlib.Path(path), commands
+        )
+    ]
 
 
 def main():
     report = run()
     if not report:
-        print(f"docs links OK ({len(markdown_files())} files checked)")
+        print(f"docs links OK ({len(docs.markdown_files(REPO_ROOT))} files "
+              f"checked)")
         return 0
     for name, problems in sorted(report.items()):
         for problem in problems:

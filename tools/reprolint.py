@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""reprolint — the repo's static-analysis entry point.
+
+Runs every registered rule (see ``src/repro/analysis/``) over the
+source tree and the golden translation corpus::
+
+    python tools/reprolint.py                    # lint src/repro + docs
+    python tools/reprolint.py src/repro/core     # lint a subtree
+    python tools/reprolint.py --format json      # machine-readable output
+    python tools/reprolint.py --list-rules       # rule catalog
+    python tools/reprolint.py --select guarded-by,lock-order
+    python tools/reprolint.py --write-baseline   # accept current findings
+
+Exits 0 when no *new* (unbaselined) findings exist, 1 otherwise.  The
+baseline lives at ``tools/reprolint-baseline.json`` and is empty — the
+tree is clean; keep it that way.  See docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import analysis  # noqa: E402  (registers the rules)
+
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "reprolint-baseline.json"
+DEFAULT_PATHS = [REPO_ROOT / "src" / "repro"]
+
+
+def _split(value):
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="reprolint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline file of accepted finding fingerprints")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline and exit")
+    parser.add_argument("--select", type=_split, default=None,
+                        metavar="RULES", help="comma-separated rules to run")
+    parser.add_argument("--disable", type=_split, default=None,
+                        metavar="RULES", help="comma-separated rules to skip")
+    parser.add_argument("--list-rules", action="store_true")
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for name, checker in sorted(analysis.all_rules().items()):
+            print(f"{name:20} [{checker.scope:7}] {checker.description}")
+        return 0
+
+    paths = [pathlib.Path(p) for p in options.paths] or DEFAULT_PATHS
+    baseline = analysis.load_baseline(options.baseline)
+    report = analysis.lint_paths(
+        REPO_ROOT, paths,
+        select=options.select, disable=options.disable, baseline=baseline,
+    )
+
+    if options.write_baseline:
+        from repro.analysis.core import write_baseline
+        fingerprints = write_baseline(options.baseline, report.findings)
+        print(f"wrote {len(fingerprints)} fingerprint(s) to "
+              f"{options.baseline}")
+        return 0
+
+    if options.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
