@@ -12,6 +12,15 @@ are caught across the repo-root and ``docs/`` markdown files:
 3. **CLI commands** — backticked ``:command`` references (``:explain``,
    ``:stats``, ...) that the shell in ``src/repro/cli.py`` no longer
    dispatches.
+4. **EXPLAIN ANALYZE vocabulary** — every annotation field in
+   ``EXPLAIN_ANNOTATION_FIELDS`` (``src/repro/obs/stats.py``) must be
+   documented, backticked, in ``docs/OBSERVABILITY.md``; adding a field
+   to the renderer without documenting it fails the docs job.
+5. **Benchmark-number sync** — every string in the ``summary`` block of
+   ``benchmarks/results/BENCH_vectorized.json`` must appear verbatim in
+   ``docs/EXECUTION.md``, so the handbook's measured numbers cannot
+   drift from the committed benchmark record (re-recording the
+   benchmark means updating the handbook in the same commit).
 
 ``tools/check_docs_links.py`` remains as a thin wrapper over
 :func:`run` for back-compatibility with ``tests/test_docs_links.py``.
@@ -19,6 +28,8 @@ are caught across the repo-root and ``docs/`` markdown files:
 
 from __future__ import annotations
 
+import ast
+import json
 import pathlib
 import re
 
@@ -41,6 +52,17 @@ INLINE_CLI_COMMAND = re.compile(r"`(:[a-z]+)[ `]")
 
 #: ``:name`` commands the shell implements, read from the source
 CLI_COMMAND_PATTERN = re.compile(r"\"(:[a-z]+)\"")
+
+#: the annotation-field tuple in src/repro/obs/stats.py
+ANNOTATION_FIELDS_PATTERN = re.compile(
+    r"EXPLAIN_ANNOTATION_FIELDS\s*=\s*(\([^)]*\))"
+)
+
+#: (source of truth, document that must stay in sync)
+STATS_SOURCE = "src/repro/obs/stats.py"
+OBSERVABILITY_DOC = "docs/OBSERVABILITY.md"
+BENCH_VECTORIZED_JSON = "benchmarks/results/BENCH_vectorized.json"
+EXECUTION_DOC = "docs/EXECUTION.md"
 
 
 def markdown_files(root):
@@ -99,6 +121,84 @@ def check_file(root, path, commands):
     return problems
 
 
+def explain_annotation_fields(root):
+    """The ``EXPLAIN_ANNOTATION_FIELDS`` tuple, read from the source."""
+    source_path = pathlib.Path(root) / STATS_SOURCE
+    if not source_path.exists():
+        return None
+    match = ANNOTATION_FIELDS_PATTERN.search(source_path.read_text())
+    if match is None:
+        return None
+    return ast.literal_eval(match.group(1))
+
+
+def check_annotation_fields(root):
+    """``(doc, line, problem)`` for undocumented EXPLAIN ANALYZE fields.
+
+    Each field the renderer can emit must appear backticked somewhere in
+    docs/OBSERVABILITY.md — either alone (`` `batches` ``) or inside a
+    larger backticked example (`` `(actual_rows=N ...)` ``).
+    """
+    fields = explain_annotation_fields(root)
+    if not fields:
+        return []
+    doc_path = pathlib.Path(root) / OBSERVABILITY_DOC
+    if not doc_path.exists():
+        return [(OBSERVABILITY_DOC, 1,
+                 f"missing document: {OBSERVABILITY_DOC} must describe "
+                 f"the EXPLAIN ANALYZE annotation fields {fields}")]
+    text = doc_path.read_text()
+    problems = []
+    for field in fields:
+        if not re.search(rf"`[^`]*\b{re.escape(field)}\b[^`]*`", text):
+            problems.append((
+                OBSERVABILITY_DOC, 1,
+                f"EXPLAIN ANALYZE field `{field}` "
+                f"(EXPLAIN_ANNOTATION_FIELDS in {STATS_SOURCE}) "
+                f"is not documented in {OBSERVABILITY_DOC}",
+            ))
+    return problems
+
+
+def check_benchmark_sync(root):
+    """``(doc, line, problem)`` for handbook/benchmark number drift.
+
+    Every string value in BENCH_vectorized.json's ``summary`` object must
+    appear verbatim in docs/EXECUTION.md.  Checked against the committed
+    files only — no benchmark is re-run.
+    """
+    root = pathlib.Path(root)
+    json_path = root / BENCH_VECTORIZED_JSON
+    if not json_path.exists():
+        return []
+    try:
+        summary = json.loads(json_path.read_text()).get("summary", {})
+    except (ValueError, AttributeError):
+        return [(BENCH_VECTORIZED_JSON, 1,
+                 f"unparseable benchmark record: {BENCH_VECTORIZED_JSON}")]
+    doc_path = root / EXECUTION_DOC
+    if not doc_path.exists():
+        return [(EXECUTION_DOC, 1,
+                 f"missing document: {EXECUTION_DOC} must quote the "
+                 f"{BENCH_VECTORIZED_JSON} summary strings")]
+    text = doc_path.read_text()
+    problems = []
+    for key, value in sorted(summary.items()):
+        if isinstance(value, str) and value not in text:
+            problems.append((
+                EXECUTION_DOC, 1,
+                f"stale benchmark reference: summary[{key!r}] of "
+                f"{BENCH_VECTORIZED_JSON} ({value!r}) does not appear "
+                f"verbatim in {EXECUTION_DOC}",
+            ))
+    return problems
+
+
+def sync_problems(root):
+    """All cross-file sync problems as ``(doc, line, problem)`` triples."""
+    return check_annotation_fields(root) + check_benchmark_sync(root)
+
+
 def run(root):
     """Check every markdown file; returns ``{relative_path: [problems]}``.
 
@@ -112,6 +212,8 @@ def run(root):
         problems = [p for _line, p in check_file(root, path, commands)]
         if problems:
             report[str(path.relative_to(root))] = problems
+    for doc, _line, problem in sync_problems(root):
+        report.setdefault(doc, []).append(problem)
     return report
 
 
@@ -119,7 +221,10 @@ def run(root):
     "docs-links",
     scope="project",
     description="markdown docs must not reference dead links, missing "
-    "files, or CLI commands the shell no longer dispatches",
+    "files, or CLI commands the shell no longer dispatches; "
+    "docs/OBSERVABILITY.md must document every EXPLAIN ANALYZE "
+    "annotation field and docs/EXECUTION.md must quote the committed "
+    "BENCH_vectorized.json summary verbatim",
 )
 def check_docs_links(context):
     root = context.root
@@ -132,4 +237,9 @@ def check_docs_links(context):
                 "docs-links", relative, line, problem,
                 symbol=problem,
             ))
+    for doc, line, problem in sync_problems(root):
+        findings.append(Finding(
+            "docs-links", doc, line, problem,
+            symbol=problem,
+        ))
     return findings

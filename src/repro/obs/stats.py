@@ -2,30 +2,46 @@
 
 This module is deliberately ignorant of the relational engine's classes —
 it works against the small structural interface every physical operator
-exposes (``rows()``, ``describe()``, ``children_ops()``, ``est_rows``), so
-``repro.obs`` stays dependency-free and the engine can import it without
-cycles.
+exposes (``rows()``/``batches()``, ``uses_batches()``, ``describe()``,
+``children_ops()``, ``est_rows``), so ``repro.obs`` stays dependency-free
+and the engine can import it without cycles.
 
 The central idea: instrumentation is **opt-in per plan**.  A plan runs
 untouched unless :func:`instrument_plan` wraps it first, so the disabled
-path adds zero per-row work.  Wrapping replaces each operator's bound
-``rows`` with a generator that counts rows out and accumulates *inclusive*
-wall time (time spent inside this operator's iterator, children included —
-the same convention as PostgreSQL's ``EXPLAIN ANALYZE`` actual time).
+path adds zero per-row work.  Wrapping replaces each operator's *native*
+iterator — ``batches`` when the operator reports ``uses_batches()``,
+``rows`` otherwise — with a generator that counts output and accumulates
+*inclusive* wall time (time spent inside this operator's iterator,
+children included — the same convention as PostgreSQL's ``EXPLAIN
+ANALYZE`` actual time).  Only the native method is wrapped, and the
+engine's row↔batch shims route through the instrumented instance
+attribute, so nothing is ever counted twice.
+
+Under batch execution, ``rows_out`` stays **exact**: the wrapper adds
+each batch's ``selected_count()`` — the number of positions live in its
+selection vector — never the physical batch size, so EXPLAIN ANALYZE
+actual-row counts are identical in both executor modes.  ``batches_out``
+additionally reports how many blocks flowed out of the operator.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
 
+#: annotation fields EXPLAIN ANALYZE can emit per operator; the reprolint
+#: docs-links rule keeps docs/OBSERVABILITY.md mentioning each of these.
+EXPLAIN_ANNOTATION_FIELDS = ("actual_rows", "batches", "time")
+
 
 class OperatorStats:
-    """Actual row count and inclusive wall time for one plan operator."""
+    """Actual row count, batch count and inclusive wall time for one plan
+    operator."""
 
-    __slots__ = ("rows_out", "time_s", "started")
+    __slots__ = ("rows_out", "batches_out", "time_s", "started")
 
     def __init__(self):
         self.rows_out = 0
+        self.batches_out = 0
         self.time_s = 0.0
         self.started = False
 
@@ -92,23 +108,46 @@ def instrument_plan(plan, stats):
         entry = OperatorStats()
         stats.operators[id(operator)] = entry
 
-        original = operator.rows
+        uses_batches = getattr(operator, "uses_batches", None)
+        if uses_batches is not None and uses_batches():
+            original = operator.batches
 
-        def counted_rows(_original=original, _entry=entry):
-            _entry.started = True
-            iterator = iter(_original())
-            while True:
-                start = perf_counter()
-                try:
-                    row = next(iterator)
-                except StopIteration:
+            def counted_batches(_original=original, _entry=entry):
+                _entry.started = True
+                iterator = iter(_original())
+                while True:
+                    start = perf_counter()
+                    try:
+                        block = next(iterator)
+                    except StopIteration:
+                        _entry.time_s += perf_counter() - start
+                        return
                     _entry.time_s += perf_counter() - start
-                    return
-                _entry.time_s += perf_counter() - start
-                _entry.rows_out += 1
-                yield row
+                    # exact actual rows: count selected positions, never
+                    # the physical batch size
+                    _entry.rows_out += block.selected_count()
+                    _entry.batches_out += 1
+                    yield block
 
-        operator.rows = counted_rows
+            operator.batches = counted_batches
+        else:
+            original = operator.rows
+
+            def counted_rows(_original=original, _entry=entry):
+                _entry.started = True
+                iterator = iter(_original())
+                while True:
+                    start = perf_counter()
+                    try:
+                        row = next(iterator)
+                    except StopIteration:
+                        _entry.time_s += perf_counter() - start
+                        return
+                    _entry.time_s += perf_counter() - start
+                    _entry.rows_out += 1
+                    yield row
+
+            operator.rows = counted_rows
         for child in operator.children_ops():
             wrap(child)
 
@@ -119,9 +158,10 @@ def instrument_plan(plan, stats):
 def render_analyzed_plan(plan, stats, indent=0):
     """Render an executed plan tree with actual row counts and timings.
 
-    Mirrors the static ``explain_plan`` layout, adding ``actual_rows`` and
-    inclusive ``time``; operators that never started (e.g. the probe side
-    of a short-circuited join) render as ``never executed``.
+    Mirrors the static ``explain_plan`` layout, adding ``actual_rows``,
+    ``batches`` (for operators that executed vectorized) and inclusive
+    ``time``; operators that never started (e.g. the probe side of a
+    short-circuited join) render as ``never executed``.
     """
     entry = stats.operator_stats(plan)
     if entry is None:
@@ -129,8 +169,12 @@ def render_analyzed_plan(plan, stats, indent=0):
     elif not entry.started:
         annotation = "  (never executed)"
     else:
+        batches = (
+            f" batches={entry.batches_out}" if entry.batches_out else ""
+        )
         annotation = (
-            f"  (actual_rows={entry.rows_out} time={entry.time_s * 1000:.3f}ms)"
+            f"  (actual_rows={entry.rows_out}{batches}"
+            f" time={entry.time_s * 1000:.3f}ms)"
         )
     lines = [
         f"{'  ' * indent}{plan.describe()}  (est_rows={plan.est_rows})"

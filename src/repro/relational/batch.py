@@ -1,0 +1,209 @@
+"""Columnar execution blocks: :class:`ColumnBatch` and the vectorized knob.
+
+The executor's hot path moves data *batch-at-a-time* instead of
+row-at-a-time (see ``docs/EXECUTION.md``).  A batch is a small set of
+parallel Python lists — one per output column — plus an optional
+*selection vector* of live positions, so filters and DISTINCT narrow a
+batch without copying any values.  Operators hand batches to each other
+through ``Operator.batches()``; the classic ``Operator.rows()`` iterator
+remains as the row-compatibility shim for consumers that want tuples
+(ResultSet materialization, Gremlin result unwrapping, sorts, the
+recursive-CTE dedup loop).
+
+Batches are **immutable once yielded**: downstream operators may alias
+the column lists (zero-copy projection/filter/distinct) but must never
+mutate them; narrowing happens by replacing the selection vector only.
+
+The ``REPRO_VECTORIZED`` environment variable (default on; ``0``
+disables) selects the executor at plan time.  With vectorization off,
+every operator runs its legacy row-at-a-time implementation — the exact
+pre-batch code path — which the differential suite uses as the oracle.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: rows per batch produced by scans and the row→batch shim.  Large enough
+#: to amortize per-batch overhead, small enough to keep selection vectors
+#: and value lists cache-friendly.
+BATCH_SIZE = 1024
+
+_ENABLED = os.environ.get("REPRO_VECTORIZED", "1") != "0"
+
+
+def enabled():
+    """Is batch-at-a-time execution on for newly executed plans?"""
+    return _ENABLED
+
+
+def set_enabled(flag):
+    """Force the executor mode (tests / benchmarks).  Returns the old value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+class row_mode:
+    """Context manager running the block with vectorization forced off."""
+
+    def __enter__(self):
+        self._previous = set_enabled(False)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        set_enabled(self._previous)
+        return False
+
+
+class BatchRow:
+    """A lazy row view over one batch position.
+
+    Compiled row closures only ever index the row (``row[position]``), so
+    a :class:`BatchRow` lets an unvectorized expression evaluate against a
+    batch without materializing a tuple per row.  Reused across positions:
+    set :attr:`i` and call the closure.
+    """
+
+    __slots__ = ("columns", "i")
+
+    def __init__(self, columns, i=0):
+        self.columns = columns
+        self.i = i
+
+    def __getitem__(self, position):
+        return self.columns[position][self.i]
+
+    def __len__(self):
+        return len(self.columns)
+
+
+class ColumnBatch:
+    """A block of rows stored column-wise.
+
+    :param columns: one Python list per output column; all the same length.
+    :param length: number of physical row positions (explicit so that
+        zero-column relations — ``SELECT COUNT(*)`` inputs — keep a row
+        count).
+    :param sel: optional ascending selection vector of live positions;
+        ``None`` means every position is live.  All batch consumers must
+        honor it — actual-row accounting counts *selected* positions, never
+        physical batch sizes.
+    """
+
+    __slots__ = ("columns", "length", "sel")
+
+    def __init__(self, columns, length, sel=None):
+        self.columns = columns
+        self.length = length
+        self.sel = sel
+
+    @classmethod
+    def from_rows(cls, rows, width):
+        """Transpose a list of row tuples into a dense batch."""
+        if not rows:
+            return cls([[] for __ in range(width)], 0)
+        if width == 0:
+            return cls([], len(rows))
+        return cls([list(column) for column in zip(*rows)], len(rows))
+
+    def selected_count(self):
+        """Number of live rows (the EXPLAIN ANALYZE ``actual_rows`` unit)."""
+        if self.sel is not None:
+            return len(self.sel)
+        return self.length
+
+    def positions(self):
+        """Live positions, in order (a list or a range)."""
+        if self.sel is not None:
+            return self.sel
+        return range(self.length)
+
+    def iter_rows(self):
+        """Yield live rows as tuples, in position order (the row shim)."""
+        columns = self.columns
+        if not columns:
+            for __ in range(self.selected_count()):
+                yield ()
+            return
+        if self.sel is None:
+            yield from zip(*columns)
+            return
+        for i in self.sel:
+            yield tuple(column[i] for column in columns)
+
+    def compact(self):
+        """Return a dense batch (selection applied).  Zero-copy when the
+        batch already is dense."""
+        if self.sel is None:
+            return self
+        sel = self.sel
+        return ColumnBatch(
+            [[column[i] for i in sel] for column in self.columns], len(sel)
+        )
+
+    def __repr__(self):
+        return (
+            f"ColumnBatch({len(self.columns)} cols x {self.length} rows, "
+            f"{self.selected_count()} selected)"
+        )
+
+
+def batches_from_rows(row_iter, width, batch_size=BATCH_SIZE):
+    """Wrap a row iterator into dense batches (the row→batch shim)."""
+    buffer = []
+    append = buffer.append
+    for row in row_iter:
+        append(row)
+        if len(buffer) >= batch_size:
+            yield ColumnBatch.from_rows(buffer, width)
+            buffer = []
+            append = buffer.append
+    if buffer:
+        yield ColumnBatch.from_rows(buffer, width)
+
+
+class MaterializedRelation:
+    """A materialized intermediate result (CTE / FROM-subquery body).
+
+    Stores either a list of row tuples (row mode, recursive CTEs) or a
+    list of dense :class:`ColumnBatch` objects (batch mode), and serves
+    both access styles so :class:`~repro.relational.operators.
+    MaterializedScan` never transposes on the hot path.
+    """
+
+    __slots__ = ("_rows", "_batches", "width", "_count")
+
+    def __init__(self, width, rows=None, batches=None):
+        self.width = width
+        self._rows = rows
+        self._batches = batches
+        if rows is not None:
+            self._count = len(rows)
+        else:
+            self._count = sum(batch.selected_count() for batch in batches)
+
+    @classmethod
+    def from_plan(cls, plan):
+        """Materialize *plan* in the executor's current mode."""
+        width = len(plan.columns)
+        if enabled():
+            return cls(
+                width, batches=[batch.compact() for batch in plan.batches()]
+            )
+        return cls(width, rows=list(plan.rows()))
+
+    def row_count(self):
+        return self._count
+
+    def iter_rows(self):
+        if self._rows is not None:
+            return iter(self._rows)
+        return (row for batch in self._batches for row in batch.iter_rows())
+
+    def iter_batches(self):
+        if self._batches is not None:
+            yield from self._batches
+        else:
+            yield from batches_from_rows(self._rows, self.width)

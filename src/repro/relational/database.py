@@ -61,6 +61,25 @@ class ResultSet:
         return len(self.rows)
 
 
+def _materialize_rows(plan):
+    """Collect a plan's output as a list of row tuples.
+
+    When the root operator runs vectorized, consume its blocks and
+    transpose each one wholesale (``zip`` at C speed) instead of paying
+    the per-row generator hop through the row-compat shim.  Reads the
+    ``batches``/``rows`` instance attributes, so EXPLAIN ANALYZE
+    instrumentation still counts the traffic.
+    """
+    uses_batches = getattr(plan, "uses_batches", None)
+    if uses_batches is not None and uses_batches():
+        rows = []
+        extend = rows.extend
+        for block in plan.batches():
+            extend(block.iter_rows())
+        return rows
+    return list(plan.rows())
+
+
 class Catalog:
     """All tables of a database."""
 
@@ -624,7 +643,7 @@ class Database:
             return ResultSet(columns, rows)
         plan = self._planner(params).plan_select_statement(statement)
         columns = [name for __, name in plan.columns]
-        return ResultSet(columns, list(plan.rows()))
+        return ResultSet(columns, _materialize_rows(plan))
 
     def _run_instrumented(self, statement, params=None, sql_text=None):
         """Plan and execute a SELECT with full observability.
@@ -651,7 +670,7 @@ class Database:
             planner.stats = stats
             plan = planner.plan_select_statement(statement)
             instrument_plan(plan, stats)
-            rows = list(plan.rows())
+            rows = _materialize_rows(plan)
         finally:
             ENGINE_METRICS.enabled = was_enabled
         stats.elapsed_s = perf_counter() - start

@@ -5,13 +5,22 @@ conditions and index definitions.  Each node supports:
 
 * ``compile(ctx)`` — produce a fast ``row -> value`` closure, resolving
   column references through ``ctx.resolver`` once (no per-row name lookups);
+* ``compile_batch(ctx)`` — produce a vectorized ``(columns, positions) ->
+  values`` closure for the batch executor: *columns* are the input batch's
+  per-column lists, *positions* the live positions to evaluate (a ``range``
+  when the whole batch is live), and the result is a list of values aligned
+  with *positions*.  Nodes without a specialized kernel inherit a generic
+  fallback that drives the row closure over a reusable
+  :class:`~repro.relational.batch.BatchRow` view — correctness never
+  depends on a node being vectorized;
 * ``references()`` — the set of ``(qualifier, column)`` pairs it reads,
   used by the planner for pushdown and join analysis;
 * ``fingerprint()`` — a canonical string used to match predicates against
   expression indexes (e.g. an index over ``JSON_VAL(attr, 'name')``).
 
 NULL semantics follow SQL: comparisons and arithmetic with NULL yield NULL
-(``None``); AND/OR use Kleene logic; WHERE treats NULL as false.
+(``None``); AND/OR use Kleene logic; WHERE treats NULL as false.  The
+batch kernels implement the exact same three-valued logic elementwise.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 import math
 import re
 
+from repro.relational.batch import BatchRow
 from repro.relational.errors import BindError, TypeMismatchError
 from repro.relational.index import total_order_key
 from repro.relational.schema import ColumnType, coerce_value
@@ -51,6 +61,28 @@ class Expression:
     def compile(self, ctx):
         raise NotImplementedError
 
+    def compile_batch(self, ctx):
+        """Vectorized compilation: ``(columns, positions) -> list[value]``.
+
+        The generic fallback evaluates the row closure once per live
+        position through a reusable :class:`BatchRow` view, so stateful
+        nodes (subqueries) and rarely-hot nodes stay correct without a
+        dedicated kernel.  Subclasses on the hot path override this with
+        elementwise loops over the input column lists.
+        """
+        fn = self.compile(ctx)
+
+        def evaluate(columns, positions, _fn=fn):
+            row = BatchRow(columns)
+            out = []
+            append = out.append
+            for i in positions:
+                row.i = i
+                append(_fn(row))
+            return out
+
+        return evaluate
+
     def references(self):
         return set()
 
@@ -73,6 +105,10 @@ class Literal(Expression):
     def compile(self, ctx):
         value = self.value
         return lambda row: value
+
+    def compile_batch(self, ctx):
+        value = self.value
+        return lambda columns, positions: [value] * len(positions)
 
     def fingerprint(self):
         return repr(self.value)
@@ -99,6 +135,11 @@ class Parameter(Expression):
         value = params[self.index]
         return lambda row: value
 
+    def compile_batch(self, ctx):
+        fn = self.compile(ctx)  # validates the parameter vector
+        value = fn(None)
+        return lambda columns, positions: [value] * len(positions)
+
     def fingerprint(self):
         # parameters are per-execution constants; an identity fingerprint
         # would let a plan structure leak across different bound values, so
@@ -117,6 +158,19 @@ class ColumnRef(Expression):
     def compile(self, ctx):
         position = ctx.resolver(self.qualifier, self.name)
         return lambda row: row[position]
+
+    def compile_batch(self, ctx):
+        position = ctx.resolver(self.qualifier, self.name)
+
+        def evaluate(columns, positions, _position=position):
+            column = columns[_position]
+            if type(positions) is range:
+                # whole batch live: hand back the column list itself
+                # (zero-copy — batches are immutable once yielded)
+                return column
+            return [column[i] for i in positions]
+
+        return evaluate
 
     def references(self):
         return {(self.qualifier, self.name)}
@@ -194,6 +248,18 @@ class BinaryOp(Expression):
         right = self.right.compile(ctx)
         return lambda row: _arith(op, left(row), right(row))
 
+    def compile_batch(self, ctx):
+        op = self.op
+        left = self.left.compile_batch(ctx)
+        right = self.right.compile_batch(ctx)
+
+        def evaluate(columns, positions):
+            lefts = left(columns, positions)
+            rights = right(columns, positions)
+            return [_arith(op, a, b) for a, b in zip(lefts, rights)]
+
+        return evaluate
+
     def references(self):
         return self.left.references() | self.right.references()
 
@@ -252,11 +318,65 @@ class Comparison(Expression):
         right = self.right.compile(ctx)
         return lambda row: compare_values(op, left(row), right(row))
 
+    def compile_batch(self, ctx):
+        op = self.op
+        # constant-vs-column equality is THE hot-path predicate shape
+        # (``t.lbl = 'name'`` over unnested triads); specialize it so the
+        # inner loop compares against a bound scalar with no dispatch.
+        for value_side, const_side in (
+            (self.left, self.right),
+            (self.right, self.left),
+        ):
+            bound, constant = _constant_of(const_side, ctx)
+            if bound and op in ("=", "<>"):
+                values_fn = value_side.compile_batch(ctx)
+                negate = op == "<>"
+
+                def evaluate(columns, positions, _values=values_fn,
+                             _const=constant, _negate=negate):
+                    values = _values(columns, positions)
+                    if _const is None:
+                        return [None] * len(values)
+                    out = []
+                    append = out.append
+                    for value in values:
+                        if value is None:
+                            append(None)
+                        else:
+                            equal = _sql_equal(value, _const)
+                            append((not equal) if _negate else equal)
+                    return out
+
+                return evaluate
+        left = self.left.compile_batch(ctx)
+        right = self.right.compile_batch(ctx)
+
+        def evaluate(columns, positions):
+            lefts = left(columns, positions)
+            rights = right(columns, positions)
+            return [compare_values(op, a, b) for a, b in zip(lefts, rights)]
+
+        return evaluate
+
     def references(self):
         return self.left.references() | self.right.references()
 
     def fingerprint(self):
         return f"({self.left.fingerprint()}{self.op}{self.right.fingerprint()})"
+
+
+def _constant_of(node, ctx):
+    """``(True, value)`` when *node* is a plan-time constant, else
+    ``(False, None)``.  Used by batch kernels to bind one comparison side
+    up front."""
+    if isinstance(node, Literal):
+        return True, node.value
+    if isinstance(node, Parameter):
+        params = ctx.params
+        if params is None or node.index >= len(params):
+            return False, None  # let compile() raise the precise BindError
+        return True, params[node.index]
+    return False, None
 
 
 class And(Expression):
@@ -278,6 +398,26 @@ class And(Expression):
                 elif not value:
                     return False
             return None if saw_null else True
+
+        return evaluate
+
+    def compile_batch(self, ctx):
+        compiled = [item.compile_batch(ctx) for item in self.items]
+
+        def evaluate(columns, positions):
+            result = [True] * len(positions)
+            for fn in compiled:
+                values = fn(columns, positions)
+                for i, value in enumerate(values):
+                    current = result[i]
+                    if current is False:
+                        continue
+                    if value is None:
+                        if current is True:
+                            result[i] = None
+                    elif not value:
+                        result[i] = False
+            return result
 
         return evaluate
 
@@ -313,6 +453,26 @@ class Or(Expression):
 
         return evaluate
 
+    def compile_batch(self, ctx):
+        compiled = [item.compile_batch(ctx) for item in self.items]
+
+        def evaluate(columns, positions):
+            result = [False] * len(positions)
+            for fn in compiled:
+                values = fn(columns, positions)
+                for i, value in enumerate(values):
+                    current = result[i]
+                    if current is True:
+                        continue
+                    if value is None:
+                        if current is False:
+                            result[i] = None
+                    elif value:
+                        result[i] = True
+            return result
+
+        return evaluate
+
     def references(self):
         refs = set()
         for item in self.items:
@@ -341,6 +501,17 @@ class Not(Expression):
 
         return evaluate
 
+    def compile_batch(self, ctx):
+        operand = self.operand.compile_batch(ctx)
+
+        def evaluate(columns, positions):
+            return [
+                None if value is None else not value
+                for value in operand(columns, positions)
+            ]
+
+        return evaluate
+
     def references(self):
         return self.operand.references()
 
@@ -361,6 +532,16 @@ class IsNull(Expression):
         if self.negated:
             return lambda row: operand(row) is not None
         return lambda row: operand(row) is None
+
+    def compile_batch(self, ctx):
+        operand = self.operand.compile_batch(ctx)
+        if self.negated:
+            return lambda columns, positions: [
+                value is not None for value in operand(columns, positions)
+            ]
+        return lambda columns, positions: [
+            value is None for value in operand(columns, positions)
+        ]
 
     def references(self):
         return self.operand.references()
@@ -408,6 +589,30 @@ class Like(Expression):
                 regex = cache[pat] = like_to_regex(pat)
             matched = regex.match(_as_string(value)) is not None
             return (not matched) if negated else matched
+
+        return evaluate
+
+    def compile_batch(self, ctx):
+        operand = self.operand.compile_batch(ctx)
+        pattern = self.pattern.compile_batch(ctx)
+        negated = self.negated
+        cache = {}
+
+        def evaluate(columns, positions):
+            values = operand(columns, positions)
+            patterns = pattern(columns, positions)
+            out = []
+            append = out.append
+            for value, pat in zip(values, patterns):
+                if value is None or pat is None:
+                    append(None)
+                    continue
+                regex = cache.get(pat)
+                if regex is None:
+                    regex = cache[pat] = like_to_regex(pat)
+                matched = regex.match(_as_string(value)) is not None
+                append((not matched) if negated else matched)
+            return out
 
         return evaluate
 
@@ -554,6 +759,25 @@ class Cast(Expression):
 
         return evaluate
 
+    def compile_batch(self, ctx):
+        operand = self.operand.compile_batch(ctx)
+        target = self.target_type
+
+        def evaluate(columns, positions):
+            out = []
+            append = out.append
+            for value in operand(columns, positions):
+                if value is None:
+                    append(None)
+                    continue
+                try:
+                    append(coerce_value(value, target))
+                except TypeMismatchError:
+                    append(None)
+            return out
+
+        return evaluate
+
     def references(self):
         return self.operand.references()
 
@@ -652,6 +876,39 @@ class FuncCall(Expression):
             raise BindError(f"unknown function {self.name!r}")
         compiled = [arg.compile(ctx) for arg in self.args]
         return lambda row: function(*[fn(row) for fn in compiled])
+
+    def compile_batch(self, ctx):
+        if self.name == "coalesce":
+            compiled = [arg.compile_batch(ctx) for arg in self.args]
+
+            def evaluate(columns, positions):
+                if not compiled:
+                    return [None] * len(positions)
+                arg_lists = [fn(columns, positions) for fn in compiled]
+                out = []
+                append = out.append
+                for values in zip(*arg_lists):
+                    for value in values:
+                        if value is not None:
+                            append(value)
+                            break
+                    else:
+                        append(None)
+                return out
+
+            return evaluate
+        function = ctx.functions.get(self.name)
+        if function is None:
+            raise BindError(f"unknown function {self.name!r}")
+        compiled = [arg.compile_batch(ctx) for arg in self.args]
+
+        def evaluate(columns, positions):
+            if not compiled:
+                return [function() for __ in range(len(positions))]
+            arg_lists = [fn(columns, positions) for fn in compiled]
+            return [function(*values) for values in zip(*arg_lists)]
+
+        return evaluate
 
     def references(self):
         refs = set()

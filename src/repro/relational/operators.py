@@ -11,19 +11,39 @@ Each operator exposes:
 
 * ``columns`` — output schema as a list of ``(qualifier, name)`` pairs,
 * ``est_rows`` — the planner's cardinality estimate,
-* ``rows()`` — an iterator of output tuples,
+* ``rows()`` — an iterator of output tuples (the row-compatibility shim),
+* ``batches()`` — an iterator of :class:`~repro.relational.batch.
+  ColumnBatch` blocks (the vectorized path; see ``docs/EXECUTION.md``),
 * ``children_ops()`` / ``describe()`` — plan-tree introspection, used by
   EXPLAIN and by ``repro.obs.stats.instrument_plan`` for EXPLAIN ANALYZE.
+
+Batch-native operators (``batch_native = True``) implement
+``batches_impl()`` and keep their pre-vectorization row loop verbatim in
+``rows_impl()``; the base class routes ``rows()``/``batches()`` through
+whichever implementation the ``REPRO_VECTORIZED`` knob selects, inserting
+the row↔batch shims at the boundary.  Row-native operators (sort, set
+ops, generic nested-loop join) only implement ``rows_impl()`` and get
+batches through the shim.  Either way both access styles always work, so
+consumers never care which side of the migration an operator is on.
 
 Streaming operators (scan, filter, project, unnest, union-all, limit) are
 generators; blocking operators (hash join build side, sort, distinct,
 aggregate, set ops) materialize what they must.  Instrumentation shadows
-``rows`` with an instance attribute on the plan being analyzed, so the
-uninstrumented path pays nothing.
+the operator's *native* method (``batches`` when vectorized,
+``rows`` otherwise) with an instance attribute on the plan being
+analyzed, so the uninstrumented path pays nothing and nothing is counted
+twice.
 """
 
 from __future__ import annotations
 
+from repro.relational import batch as batch_mod
+from repro.relational.batch import (
+    BatchRow,
+    ColumnBatch,
+    MaterializedRelation,
+    batches_from_rows,
+)
 from repro.relational.errors import BindError
 from repro.relational.index import total_order_key
 
@@ -72,11 +92,112 @@ def hashable_row(row):
     return tuple(make_hashable(value) for value in row)
 
 
+def _eval_row_fns(columns, positions, fns):
+    """Evaluate row closures over batch *positions* via a reused
+    :class:`BatchRow` view; returns one value list per closure.  This is
+    the fallback batch kernel for operators constructed without
+    planner-supplied vectorized callables (tests build operators by hand
+    with plain row lambdas)."""
+    row = BatchRow(columns)
+    lists = [[] for __ in fns]
+    for i in positions:
+        row.i = i
+        for out, fn in zip(lists, fns):
+            out.append(fn(row))
+    return lists
+
+
+def _rid_batches(table, rids, width, batch_size=None):
+    """Fetch *rids* in chunks via ``table.get_many`` and yield the live
+    rows as dense blocks.  Index scans and probes go through this so the
+    buffer pool is touched once per page per chunk, not once per RID."""
+    if batch_size is None:
+        batch_size = batch_mod.BATCH_SIZE
+    chunk = []
+    for rid in rids:
+        chunk.append(rid)
+        if len(chunk) >= batch_size:
+            live = [row for row in table.get_many(chunk) if row is not None]
+            if live:
+                yield ColumnBatch.from_rows(live, width)
+            chunk = []
+    if chunk:
+        live = [row for row in table.get_many(chunk) if row is not None]
+        if live:
+            yield ColumnBatch.from_rows(live, width)
+
+
+def _filter_block(block, predicate_batch, predicate):
+    """Narrow *block* to the positions satisfying the predicate.
+
+    Prefers the vectorized *predicate_batch* kernel; otherwise drives the
+    row closure through a :class:`BatchRow`.  Returns the input block
+    unchanged when nothing is filtered (zero-copy), ``None`` when nothing
+    survives, or a new block sharing the column lists with a narrowed
+    selection vector.
+    """
+    positions = block.positions()
+    if predicate_batch is not None:
+        values = predicate_batch(block.columns, positions)
+        sel = [i for i, value in zip(positions, values) if value]
+    else:
+        row = BatchRow(block.columns)
+        sel = []
+        append = sel.append
+        for i in positions:
+            row.i = i
+            if predicate(row):
+                append(i)
+    if len(sel) == block.selected_count():
+        return block
+    if not sel:
+        return None
+    return ColumnBatch(block.columns, block.length, sel)
+
+
 class Operator:
+    """Base of all physical operators.
+
+    Batch contract: ``batches()`` yields :class:`ColumnBatch` blocks whose
+    selection vectors must be honored by consumers; ``rows()`` yields the
+    same rows as tuples, in the same order.  The two views are always
+    consistent — each subclass implements one natively and inherits the
+    shim for the other.
+    """
+
     columns = ()
     est_rows = 0
+    #: True when the class implements ``batches_impl`` natively; the
+    #: ``REPRO_VECTORIZED`` knob then selects which implementation runs.
+    batch_native = False
+
+    def uses_batches(self):
+        """Is the vectorized implementation the native path right now?"""
+        return self.batch_native and batch_mod.enabled()
 
     def rows(self):
+        """Yield output rows as tuples (row-compatibility shim)."""
+        if self.uses_batches():
+            # route through self.batches so EXPLAIN ANALYZE's instance-
+            # attribute instrumentation sees the traffic exactly once
+            for block in self.batches():
+                yield from block.iter_rows()
+        else:
+            yield from self.rows_impl()
+
+    def batches(self):
+        """Yield output :class:`ColumnBatch` blocks."""
+        if self.uses_batches():
+            yield from self.batches_impl()
+        else:
+            yield from batches_from_rows(self.rows(), len(self.columns))
+
+    def rows_impl(self):
+        """Row-at-a-time implementation (the pre-vectorization loop)."""
+        raise NotImplementedError
+
+    def batches_impl(self):
+        """Batch-at-a-time implementation (batch-native operators only)."""
         raise NotImplementedError
 
     def children_ops(self):
@@ -105,12 +226,21 @@ def explain_plan(plan, indent=0):
 
 
 class SeqScan(Operator):
-    """Full scan of a heap table, optionally with a pushed-down predicate."""
+    """Full scan of a heap table, optionally with a pushed-down predicate.
 
-    def __init__(self, table, qualifier, predicate=None, est_rows=None):
+    Batch contract: emits the table's pages as dense blocks via
+    :meth:`HeapTable.scan_batches`; a pushed predicate narrows each block
+    to a selection vector in place (column lists are never copied).
+    """
+
+    batch_native = True
+
+    def __init__(self, table, qualifier, predicate=None, est_rows=None,
+                 predicate_batch=None):
         self.table = table
         self.qualifier = qualifier
         self.predicate = predicate
+        self.predicate_batch = predicate_batch
         self.columns = [(qualifier, name) for name in table.schema.column_names]
         self.est_rows = est_rows if est_rows is not None else table.live_rows
 
@@ -118,7 +248,7 @@ class SeqScan(Operator):
         suffix = " filtered" if self.predicate is not None else ""
         return f"SeqScan({self.table.name} as {self.qualifier}){suffix}"
 
-    def rows(self):
+    def rows_impl(self):
         predicate = self.predicate
         if predicate is None:
             yield from self.table.scan_rows()
@@ -127,16 +257,35 @@ class SeqScan(Operator):
             if predicate(row):
                 yield row
 
+    def batches_impl(self):
+        predicate = self.predicate
+        if predicate is None:
+            yield from self.table.scan_batches()
+            return
+        predicate_batch = self.predicate_batch
+        for block in self.table.scan_batches():
+            filtered = _filter_block(block, predicate_batch, predicate)
+            if filtered is not None:
+                yield filtered
+
 
 class IndexEqScan(Operator):
-    """Equality lookup through a hash or sorted index with constant keys."""
+    """Equality lookup through a hash or sorted index with constant keys.
 
-    def __init__(self, table, qualifier, index, keys, predicate=None, est_rows=1):
+    Batch contract: fetched rows are packed into dense blocks in probe
+    order; a residual predicate narrows each block's selection vector.
+    """
+
+    batch_native = True
+
+    def __init__(self, table, qualifier, index, keys, predicate=None, est_rows=1,
+                 predicate_batch=None):
         self.table = table
         self.qualifier = qualifier
         self.index = index
         self.keys = keys  # list of constant keys to probe
         self.predicate = predicate
+        self.predicate_batch = predicate_batch
         self.columns = [(qualifier, name) for name in table.schema.column_names]
         self.est_rows = est_rows
 
@@ -146,23 +295,47 @@ class IndexEqScan(Operator):
             f"via {self.index.name})"
         )
 
-    def rows(self):
+    def _fetch(self):
         table = self.table
-        predicate = self.predicate
         for key in self.keys:
             for rid in self.index.lookup(key):
                 row = table.get(rid)
-                if row is None:
-                    continue
-                if predicate is None or predicate(row):
+                if row is not None:
                     yield row
+
+    def rows_impl(self):
+        predicate = self.predicate
+        for row in self._fetch():
+            if predicate is None or predicate(row):
+                yield row
+
+    def batches_impl(self):
+        predicate = self.predicate
+        predicate_batch = self.predicate_batch
+        rids = (
+            rid for key in self.keys for rid in self.index.lookup(key)
+        )
+        for block in _rid_batches(self.table, rids, len(self.columns)):
+            if predicate is None:
+                yield block
+                continue
+            filtered = _filter_block(block, predicate_batch, predicate)
+            if filtered is not None:
+                yield filtered
 
 
 class IndexRangeScan(Operator):
-    """Range scan through a sorted index."""
+    """Range scan through a sorted index.
+
+    Batch contract: same as :class:`IndexEqScan` — dense blocks in index
+    order, residual predicate applied per block.
+    """
+
+    batch_native = True
 
     def __init__(self, table, qualifier, index, low, high, low_inclusive,
-                 high_inclusive, predicate=None, est_rows=1):
+                 high_inclusive, predicate=None, est_rows=1,
+                 predicate_batch=None):
         self.table = table
         self.qualifier = qualifier
         self.index = index
@@ -171,6 +344,7 @@ class IndexRangeScan(Operator):
         self.low_inclusive = low_inclusive
         self.high_inclusive = high_inclusive
         self.predicate = predicate
+        self.predicate_batch = predicate_batch
         self.columns = [(qualifier, name) for name in table.schema.column_names]
         self.est_rows = est_rows
 
@@ -180,65 +354,162 @@ class IndexRangeScan(Operator):
             f"via {self.index.name})"
         )
 
-    def rows(self):
+    def _fetch(self):
         table = self.table
-        predicate = self.predicate
         for rid in self.index.range_scan(
             self.low, self.high, self.low_inclusive, self.high_inclusive
         ):
             row = table.get(rid)
-            if row is None:
-                continue
+            if row is not None:
+                yield row
+
+    def rows_impl(self):
+        predicate = self.predicate
+        for row in self._fetch():
             if predicate is None or predicate(row):
                 yield row
 
+    def batches_impl(self):
+        predicate = self.predicate
+        predicate_batch = self.predicate_batch
+        rids = self.index.range_scan(
+            self.low, self.high, self.low_inclusive, self.high_inclusive
+        )
+        for block in _rid_batches(self.table, rids, len(self.columns)):
+            if predicate is None:
+                yield block
+                continue
+            filtered = _filter_block(block, predicate_batch, predicate)
+            if filtered is not None:
+                yield filtered
+
 
 class MaterializedScan(Operator):
-    """Scan over an in-memory row list (CTE results, VALUES, subqueries)."""
+    """Scan over a materialized result (CTE bodies, VALUES, subqueries).
 
-    def __init__(self, rows_list, columns, predicate=None):
-        self._rows = rows_list
+    *source* is either a plain list of row tuples or a
+    :class:`MaterializedRelation` (which a vectorized CTE materialization
+    stores as dense column batches, so re-scanning it never transposes).
+
+    Batch contract: emits the stored blocks as-is (zero-copy for a
+    columnar source); a predicate narrows selection vectors per block.
+    """
+
+    batch_native = True
+
+    def __init__(self, source, columns, predicate=None, predicate_batch=None):
+        self.source = source
         self.columns = list(columns)
         self.predicate = predicate
-        self.est_rows = len(rows_list)
+        self.predicate_batch = predicate_batch
+        if isinstance(source, MaterializedRelation):
+            self.est_rows = source.row_count()
+        else:
+            self.est_rows = len(source)
 
     def describe(self):
-        return f"MaterializedScan({len(self._rows)} rows)"
+        return f"MaterializedScan({self.est_rows} rows)"
 
-    def rows(self):
+    def _source_rows(self):
+        if isinstance(self.source, MaterializedRelation):
+            return self.source.iter_rows()
+        return iter(self.source)
+
+    def rows_impl(self):
         if self.predicate is None:
-            return iter(self._rows)
+            return self._source_rows()
         predicate = self.predicate
-        return (row for row in self._rows if predicate(row))
+        return (row for row in self._source_rows() if predicate(row))
+
+    def batches_impl(self):
+        if isinstance(self.source, MaterializedRelation):
+            blocks = self.source.iter_batches()
+        else:
+            blocks = batches_from_rows(iter(self.source), len(self.columns))
+        predicate = self.predicate
+        if predicate is None:
+            yield from blocks
+            return
+        predicate_batch = self.predicate_batch
+        for block in blocks:
+            filtered = _filter_block(block, predicate_batch, predicate)
+            if filtered is not None:
+                yield filtered
 
 
 class FilterOp(Operator):
-    def __init__(self, child, predicate, est_rows=None):
+    """Apply a predicate, keeping rows where it evaluates true.
+
+    Batch contract: consumes child blocks and narrows each block's
+    selection vector — column lists pass through untouched (zero-copy).
+    The vectorized ``predicate_batch`` kernel evaluates the predicate for
+    a whole block at once; without one, the row closure runs per position.
+    """
+
+    batch_native = True
+
+    def __init__(self, child, predicate, est_rows=None, predicate_batch=None):
         self.child = child
         self.predicate = predicate
+        self.predicate_batch = predicate_batch
         self.columns = child.columns
         self.est_rows = est_rows if est_rows is not None else max(
             1, child.est_rows // 3
         )
 
-    def rows(self):
+    def rows_impl(self):
         predicate = self.predicate
         for row in self.child.rows():
             if predicate(row):
                 yield row
 
+    def batches_impl(self):
+        predicate = self.predicate
+        predicate_batch = self.predicate_batch
+        for block in self.child.batches():
+            filtered = _filter_block(block, predicate_batch, predicate)
+            if filtered is not None:
+                yield filtered
+
 
 class ProjectOp(Operator):
-    def __init__(self, child, value_fns, columns):
+    """Compute the SELECT list.
+
+    Batch contract: consumes child blocks and emits dense blocks of
+    evaluated expressions; with vectorized ``batch_fns`` each output
+    column is produced by one kernel call per block (a bare column
+    reference aliases the input column list — zero-copy), otherwise the
+    row closures run per position.
+    """
+
+    batch_native = True
+
+    def __init__(self, child, value_fns, columns, batch_fns=None):
         self.child = child
         self.value_fns = value_fns
+        self.batch_fns = batch_fns
         self.columns = list(columns)
         self.est_rows = child.est_rows
 
-    def rows(self):
+    def rows_impl(self):
         fns = self.value_fns
         for row in self.child.rows():
             yield tuple(fn(row) for fn in fns)
+
+    def batches_impl(self):
+        batch_fns = self.batch_fns
+        for block in self.child.batches():
+            positions = block.positions()
+            count = len(positions)
+            if count == 0:
+                continue
+            if batch_fns is not None:
+                out_columns = [fn(block.columns, positions) for fn in batch_fns]
+            else:
+                out_columns = _eval_row_fns(
+                    block.columns, positions, self.value_fns
+                )
+            yield ColumnBatch(out_columns, count)
 
 
 class HashJoinOp(Operator):
@@ -247,14 +518,26 @@ class HashJoinOp(Operator):
     ``kind`` is ``'inner'`` or ``'left'`` (left outer: unmatched left rows are
     padded with NULLs).  ``residual`` is an optional extra predicate over the
     combined row.
+
+    Batch contract: build and probe both consume child blocks; join keys
+    come from vectorized kernels (``*_key_batch_fns``) or the
+    :class:`BatchRow` fallback.  Output blocks gather probe-side columns
+    by position and transpose the matching build rows.  A residual is a
+    combined-row closure, so that case keeps the row loop and re-batches
+    its output.
     """
 
+    batch_native = True
+
     def __init__(self, left, right, left_key_fns, right_key_fns, kind="inner",
-                 residual=None, est_rows=None):
+                 residual=None, est_rows=None, left_key_batch_fns=None,
+                 right_key_batch_fns=None):
         self.left = left
         self.right = right
         self.left_key_fns = left_key_fns
         self.right_key_fns = right_key_fns
+        self.left_key_batch_fns = left_key_batch_fns
+        self.right_key_batch_fns = right_key_batch_fns
         self.kind = kind
         self.residual = residual
         self.columns = list(left.columns) + list(right.columns)
@@ -265,7 +548,7 @@ class HashJoinOp(Operator):
     def describe(self):
         return f"HashJoin[{self.kind}]"
 
-    def rows(self):
+    def rows_impl(self):
         build = {}
         right_keys = self.right_key_fns
         for row in self.right.rows():
@@ -290,9 +573,115 @@ class HashJoinOp(Operator):
             if left_outer and not matched:
                 yield left_row + pad
 
+    def _key_lists(self, block, positions, batch_fns, row_fns):
+        if batch_fns is not None:
+            return [fn(block.columns, positions) for fn in batch_fns]
+        return _eval_row_fns(block.columns, positions, row_fns)
+
+    def batches_impl(self):
+        if self.residual is not None:
+            # residuals are combined-row closures; keep the row loop and
+            # re-batch its output
+            yield from batches_from_rows(self.rows_impl(), len(self.columns))
+            return
+        # build side: key each right row, normalizing via make_hashable
+        # only when the raw key is unhashable (same trick as DistinctOp)
+        build = {}
+        for block in self.right.batches():
+            positions = block.positions()
+            if len(positions) == 0:
+                continue
+            key_lists = self._key_lists(
+                block, positions, self.right_key_batch_fns,
+                self.right_key_fns,
+            )
+            rows_iter = block.iter_rows()
+            if len(key_lists) == 1:
+                for key, row in zip(key_lists[0], rows_iter):
+                    if key is None:
+                        continue  # NULL never joins
+                    try:
+                        bucket = build.get(key)
+                    except TypeError:
+                        key = make_hashable(key)
+                        bucket = build.get(key)
+                    if bucket is None:
+                        build[key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for key, row in zip(zip(*key_lists), rows_iter):
+                    if any(part is None for part in key):
+                        continue
+                    try:
+                        bucket = build.get(key)
+                    except TypeError:
+                        key = tuple(make_hashable(part) for part in key)
+                        bucket = build.get(key)
+                    if bucket is None:
+                        build[key] = [row]
+                    else:
+                        bucket.append(row)
+        pad = (None,) * len(self.right.columns)
+        left_outer = self.kind == "left"
+        lookup = build.get
+        for block in self.left.batches():
+            positions = block.positions()
+            if len(positions) == 0:
+                continue
+            key_lists = self._key_lists(
+                block, positions, self.left_key_batch_fns,
+                self.left_key_fns,
+            )
+            single = len(key_lists) == 1
+            probe_keys = (
+                key_lists[0] if single else zip(*key_lists)
+            )
+            out_positions = []  # left position per output row
+            append_pos = out_positions.append
+            right_rows = []
+            append_row = right_rows.append
+            for i, key in zip(positions, probe_keys):
+                if single:
+                    null_key = key is None
+                else:
+                    null_key = any(part is None for part in key)
+                matches = None
+                if not null_key:
+                    try:
+                        matches = lookup(key)
+                    except TypeError:
+                        if single:
+                            matches = lookup(make_hashable(key))
+                        else:
+                            matches = lookup(
+                                tuple(make_hashable(part) for part in key)
+                            )
+                if matches:
+                    for right_row in matches:
+                        append_pos(i)
+                        append_row(right_row)
+                elif left_outer:
+                    append_pos(i)
+                    append_row(pad)
+            if not right_rows:
+                continue
+            left_columns = [
+                [column[i] for i in out_positions]
+                for column in block.columns
+            ]
+            right_columns = [list(col) for col in zip(*right_rows)]
+            yield ColumnBatch(
+                left_columns + right_columns, len(right_rows)
+            )
+
 
 class NestedLoopJoinOp(Operator):
-    """Fallback join for non-equi conditions; right side is materialized."""
+    """Fallback join for non-equi conditions; right side is materialized.
+
+    Batch contract: row-native — the arbitrary join condition is a row
+    closure; batches come from the base-class shim.
+    """
 
     def __init__(self, left, right, condition=None, kind="inner", est_rows=None):
         self.left = left
@@ -304,7 +693,7 @@ class NestedLoopJoinOp(Operator):
             est_rows = max(1, left.est_rows * max(right.est_rows, 1))
         self.est_rows = est_rows
 
-    def rows(self):
+    def rows_impl(self):
         right_rows = list(self.right.rows())
         condition = self.condition
         pad = (None,) * len(self.right.columns)
@@ -322,15 +711,27 @@ class NestedLoopJoinOp(Operator):
 
 class IndexNLJoinOp(Operator):
     """Index nested-loop join: probe an index of the inner base table with a
-    key computed from each outer row."""
+    key computed from each outer row.
+
+    Batch contract: consumes outer blocks, computes probe keys per block
+    (vectorized via ``outer_key_batch_fns`` when the planner supplies
+    them), probes the index per key, and emits one block per input block
+    — outer columns gathered by position, inner rows transposed.  A
+    residual predicate forces the row implementation through the shim
+    (residuals are row-shaped combined-tuple closures).
+    """
+
+    batch_native = True
 
     def __init__(self, outer, table, qualifier, index, outer_key_fns,
-                 residual=None, kind="inner", est_rows=None):
+                 residual=None, kind="inner", est_rows=None,
+                 outer_key_batch_fns=None):
         self.outer = outer
         self.table = table
         self.qualifier = qualifier
         self.index = index
         self.outer_key_fns = outer_key_fns
+        self.outer_key_batch_fns = outer_key_batch_fns
         self.residual = residual
         self.kind = kind
         inner_columns = [(qualifier, name) for name in table.schema.column_names]
@@ -344,7 +745,7 @@ class IndexNLJoinOp(Operator):
             f"via {self.index.name})"
         )
 
-    def rows(self):
+    def rows_impl(self):
         table = self.table
         index = self.index
         key_fns = self.outer_key_fns
@@ -372,40 +773,189 @@ class IndexNLJoinOp(Operator):
             if left_outer and not matched:
                 yield outer_row + pad
 
+    def batches_impl(self):
+        if self.residual is not None:
+            # residuals are combined-row closures; keep the row loop and
+            # re-batch its output
+            yield from batches_from_rows(self.rows_impl(), len(self.columns))
+            return
+        table = self.table
+        index = self.index
+        key_batch_fns = self.outer_key_batch_fns
+        key_fns = self.outer_key_fns
+        pad = (None,) * self._inner_width
+        left_outer = self.kind == "left"
+        for block in self.outer.batches():
+            positions = block.positions()
+            if len(positions) == 0:
+                continue
+            if key_batch_fns is not None:
+                key_lists = [
+                    fn(block.columns, positions) for fn in key_batch_fns
+                ]
+            else:
+                key_lists = _eval_row_fns(block.columns, positions, key_fns)
+            # pass 1: probe the index for every live position, collecting
+            # candidate RIDs so the heap fetch can be batched per page
+            lookup = index.lookup
+            flat_rids = []
+            extend_rids = flat_rids.extend
+            counts = []  # candidate RIDs per position
+            append_count = counts.append
+            if len(key_lists) == 1:
+                for key in key_lists[0]:
+                    if key is None:
+                        append_count(0)
+                        continue
+                    rids = lookup(key)
+                    extend_rids(rids)
+                    append_count(len(rids))
+            else:
+                for key in zip(*key_lists):
+                    if any(part is None for part in key):
+                        append_count(0)
+                        continue
+                    rids = lookup(key)
+                    extend_rids(rids)
+                    append_count(len(rids))
+            inner_fetched = table.get_many(flat_rids) if flat_rids else []
+            # pass 2: stitch fetched rows back to their outer positions
+            out_positions = []  # outer position per output row
+            append_pos = out_positions.append
+            inner_rows = []
+            append_row = inner_rows.append
+            cursor = 0
+            for i, n in zip(positions, counts):
+                if n:
+                    matched = False
+                    for j in range(cursor, cursor + n):
+                        inner_row = inner_fetched[j]
+                        if inner_row is None:
+                            continue
+                        matched = True
+                        append_pos(i)
+                        append_row(inner_row)
+                    cursor += n
+                    if matched:
+                        continue
+                if left_outer:
+                    append_pos(i)
+                    append_row(pad)
+            if not inner_rows:
+                continue
+            outer_columns = [
+                [column[i] for i in out_positions]
+                for column in block.columns
+            ]
+            inner_columns = [list(col) for col in zip(*inner_rows)]
+            yield ColumnBatch(
+                outer_columns + inner_columns, len(inner_rows)
+            )
+
 
 class LateralUnnestOp(Operator):
     """Lateral ``TABLE(VALUES (e1), (e2), ...) AS alias(col,...)``.
 
     For each input row, evaluates every VALUES row (whose expressions may
-    reference the input row) and emits input + values concatenated.
+    reference the input row) and emits input + values concatenated.  This
+    is how OPA/IPA adjacency triads (``lbl0,eid0,val0`` …) explode into
+    one row per stored edge (paper §3.2).
+
+    Batch contract: consumes child blocks and emits one dense block per
+    input block with ``len(rows_of_fns)`` output rows per live input row,
+    interleaved in input-row-major order.  Child column values are
+    repeated per VALUES row; each VALUES cell is computed by one kernel
+    call per block (``rows_of_batch_fns``) and written with a strided
+    slice assignment — the triad columns are gathered without building a
+    single row tuple.
     """
 
-    def __init__(self, child, rows_of_fns, columns):
+    batch_native = True
+
+    def __init__(self, child, rows_of_fns, columns, rows_of_batch_fns=None):
         self.child = child
         self.rows_of_fns = rows_of_fns
+        self.rows_of_batch_fns = rows_of_batch_fns
         self.columns = list(child.columns) + list(columns)
         self.est_rows = child.est_rows * max(1, len(rows_of_fns))
+        self._value_width = len(columns)
 
-    def rows(self):
+    def rows_impl(self):
         rows_of_fns = self.rows_of_fns
         for row in self.child.rows():
             for fns in rows_of_fns:
                 yield row + tuple(fn(row) for fn in fns)
 
+    def batches_impl(self):
+        rows_of_fns = self.rows_of_fns
+        rows_of_batch_fns = self.rows_of_batch_fns
+        value_rows = len(rows_of_fns)
+        value_width = self._value_width
+        if value_rows == 0:
+            return
+        for block in self.child.batches():
+            positions = block.positions()
+            count = len(positions)
+            if count == 0:
+                continue
+            dense = block.sel is None
+            total = count * value_rows
+            out_columns = []
+            for column in block.columns:
+                gathered = column if dense else [column[i] for i in positions]
+                if value_rows == 1:
+                    out_columns.append(
+                        list(gathered) if gathered is column else gathered
+                    )
+                else:
+                    out_columns.append(
+                        [value for value in gathered for __ in range(value_rows)]
+                    )
+            value_columns = [[None] * total for __ in range(value_width)]
+            for j in range(value_rows):
+                if rows_of_batch_fns is not None:
+                    value_lists = [
+                        fn(block.columns, positions)
+                        for fn in rows_of_batch_fns[j]
+                    ]
+                else:
+                    value_lists = _eval_row_fns(
+                        block.columns, positions, rows_of_fns[j]
+                    )
+                for out, values in zip(value_columns, value_lists):
+                    out[j::value_rows] = values
+            yield ColumnBatch(out_columns + value_columns, total)
+
 
 class UnionAllOp(Operator):
+    """Concatenate children, preserving duplicates and child order.
+
+    Batch contract: passes each child's blocks through unchanged
+    (zero-copy).
+    """
+
+    batch_native = True
+
     def __init__(self, children):
         self.children = children
         self.columns = list(children[0].columns)
         self.est_rows = sum(child.est_rows for child in children)
 
-    def rows(self):
+    def rows_impl(self):
         for child in self.children:
             yield from child.rows()
 
+    def batches_impl(self):
+        for child in self.children:
+            yield from child.batches()
+
 
 class SetOpOp(Operator):
-    """UNION / INTERSECT / EXCEPT with SQL set (distinct) semantics."""
+    """UNION / INTERSECT / EXCEPT with SQL set (distinct) semantics.
+
+    Batch contract: row-native — dedup works on hashable row tuples;
+    batches come from the base-class shim.
+    """
 
     def __init__(self, op, left, right):
         self.op = op
@@ -414,7 +964,7 @@ class SetOpOp(Operator):
         self.columns = list(left.columns)
         self.est_rows = max(left.est_rows, right.est_rows)
 
-    def rows(self):
+    def rows_impl(self):
         if self.op == "union":
             seen = set()
             for child in (self.left, self.right):
@@ -443,18 +993,77 @@ class SetOpOp(Operator):
 
 
 class DistinctOp(Operator):
+    """Drop duplicate rows, keeping first occurrences in order.
+
+    Batch contract: consumes child blocks and narrows each block's
+    selection vector to first-seen rows — column lists pass through
+    untouched (zero-copy); dedup keys are built straight from the column
+    lists without materializing row tuples.
+    """
+
+    batch_native = True
+
     def __init__(self, child):
         self.child = child
         self.columns = child.columns
         self.est_rows = max(1, child.est_rows // 2)
 
-    def rows(self):
+    def rows_impl(self):
         seen = set()
         for row in self.child.rows():
             key = hashable_row(row)
             if key not in seen:
                 seen.add(key)
                 yield row
+
+    def batches_impl(self):
+        seen = set()
+        add = seen.add
+        for block in self.child.batches():
+            columns = block.columns
+            sel = []
+            append = sel.append
+            if not columns:
+                for i in block.positions():
+                    if () not in seen:
+                        add(())
+                        append(i)
+            elif len(columns) == 1:
+                # single-column DISTINCT keys on the value itself — no
+                # per-row tuple allocation
+                column = columns[0]
+                for i in block.positions():
+                    key = column[i]
+                    try:
+                        fresh = key not in seen
+                    except TypeError:
+                        key = make_hashable(key)
+                        fresh = key not in seen
+                    if fresh:
+                        add(key)
+                        append(i)
+            else:
+                for i in block.positions():
+                    # fast path: most values are already hashable scalars;
+                    # fall back to make_hashable only when the raw tuple
+                    # is unhashable (lists/dicts/sets in a cell)
+                    key = tuple([column[i] for column in columns])
+                    try:
+                        fresh = key not in seen
+                    except TypeError:
+                        key = tuple(
+                            make_hashable(column[i]) for column in columns
+                        )
+                        fresh = key not in seen
+                    if fresh:
+                        add(key)
+                        append(i)
+            if not sel:
+                continue
+            if len(sel) == block.selected_count():
+                yield block
+            else:
+                yield ColumnBatch(columns, block.length, sel)
 
 
 class _AggState:
@@ -516,16 +1125,27 @@ class AggregateOp(Operator):
     Output row layout: group-by values first, then one column per aggregate
     spec.  ``agg_specs`` is a list of ``(kind, value_fn_or_None, distinct)``;
     ``kind == 'count_star'`` needs no value function.
+
+    Batch contract: consumes child blocks, evaluating group keys and
+    aggregate inputs per block (vectorized via ``group_batch_fns`` /
+    ``agg_batch_fns`` — the latter aligned with ``agg_specs``, ``None``
+    entries for ``count_star``); emits one dense block of result rows.
+    Group order is first-occurrence, identical to the row path.
     """
 
-    def __init__(self, child, group_fns, agg_specs, columns):
+    batch_native = True
+
+    def __init__(self, child, group_fns, agg_specs, columns,
+                 group_batch_fns=None, agg_batch_fns=None):
         self.child = child
         self.group_fns = group_fns
         self.agg_specs = agg_specs
+        self.group_batch_fns = group_batch_fns
+        self.agg_batch_fns = agg_batch_fns
         self.columns = list(columns)
         self.est_rows = max(1, child.est_rows // 10) if group_fns else 1
 
-    def rows(self):
+    def rows_impl(self):
         groups = {}
         group_fns = self.group_fns
         specs = self.agg_specs
@@ -549,8 +1169,111 @@ class AggregateOp(Operator):
         for group_values, accs in groups.values():
             yield group_values + tuple(acc.result() for acc in accs)
 
+    def batches_impl(self):
+        groups = {}
+        group_fns = self.group_fns
+        specs = self.agg_specs
+        group_batch_fns = self.group_batch_fns
+        agg_batch_fns = self.agg_batch_fns
+        for block in self.child.batches():
+            positions = block.positions()
+            count = len(positions)
+            if count == 0:
+                continue
+            if group_fns:
+                if group_batch_fns is not None:
+                    group_lists = [
+                        fn(block.columns, positions) for fn in group_batch_fns
+                    ]
+                else:
+                    group_lists = _eval_row_fns(
+                        block.columns, positions, group_fns
+                    )
+            else:
+                group_lists = None
+            value_lists = []
+            if agg_batch_fns is not None:
+                for fn in agg_batch_fns:
+                    value_lists.append(
+                        None if fn is None else fn(block.columns, positions)
+                    )
+            else:
+                row_fns = [
+                    value_fn for __, value_fn, __d in specs
+                ]
+                evaluated = _eval_row_fns(
+                    block.columns, positions,
+                    [fn for fn in row_fns if fn is not None],
+                )
+                it = iter(evaluated)
+                for fn in row_fns:
+                    value_lists.append(None if fn is None else next(it))
+            for idx in range(count):
+                if group_lists is None:
+                    key = ()
+                else:
+                    # fast path mirroring DistinctOp: hash raw values,
+                    # normalize via make_hashable only on TypeError
+                    key = tuple([lst[idx] for lst in group_lists])
+                    try:
+                        state = groups.get(key)
+                    except TypeError:
+                        key = tuple(
+                            make_hashable(lst[idx]) for lst in group_lists
+                        )
+                        state = groups.get(key)
+                    if state is None:
+                        group_values = tuple(
+                            lst[idx] for lst in group_lists
+                        )
+                        state = (
+                            group_values,
+                            [
+                                _AggState(kind, distinct)
+                                for kind, __, distinct in specs
+                            ],
+                        )
+                        groups[key] = state
+                    for acc, lst in zip(state[1], value_lists):
+                        acc.add(None if lst is None else lst[idx])
+                    continue
+                state = groups.get(key)
+                if state is None:
+                    group_values = (
+                        ()
+                        if group_lists is None
+                        else tuple(lst[idx] for lst in group_lists)
+                    )
+                    state = (
+                        group_values,
+                        [
+                            _AggState(kind, distinct)
+                            for kind, __, distinct in specs
+                        ],
+                    )
+                    groups[key] = state
+                for acc, lst in zip(state[1], value_lists):
+                    acc.add(None if lst is None else lst[idx])
+        out_rows = []
+        if not groups and not group_fns:
+            accs = [_AggState(kind, distinct) for kind, __, distinct in specs]
+            out_rows.append(tuple(acc.result() for acc in accs))
+        else:
+            for group_values, accs in groups.values():
+                out_rows.append(
+                    group_values + tuple(acc.result() for acc in accs)
+                )
+        if out_rows:
+            yield ColumnBatch.from_rows(out_rows, len(self.columns))
+
 
 class SortOp(Operator):
+    """Stable multi-key sort.
+
+    Batch contract: row-native — sorting materializes row tuples anyway;
+    batches come from the base-class shim.
+    """
+
     def __init__(self, child, key_fns, descending_flags):
         self.child = child
         self.key_fns = key_fns
@@ -558,7 +1281,7 @@ class SortOp(Operator):
         self.columns = child.columns
         self.est_rows = child.est_rows
 
-    def rows(self):
+    def rows_impl(self):
         materialized = list(self.child.rows())
         # stable multi-key sort: apply keys right-to-left
         for fn, descending in reversed(list(zip(self.key_fns, self.descending_flags))):
@@ -569,6 +1292,16 @@ class SortOp(Operator):
 
 
 class LimitOp(Operator):
+    """LIMIT / OFFSET over the child's output order.
+
+    Batch contract: consumes child blocks, slicing each block's selection
+    vector to honor the offset and remaining limit (zero-copy — column
+    lists pass through), and stops pulling from the child once the limit
+    is exhausted.
+    """
+
+    batch_native = True
+
     def __init__(self, child, limit=None, offset=None):
         self.child = child
         self.limit = limit
@@ -578,7 +1311,7 @@ class LimitOp(Operator):
             child.est_rows
         )
 
-    def rows(self):
+    def rows_impl(self):
         remaining = self.limit
         to_skip = self.offset
         for row in self.child.rows():
@@ -590,3 +1323,31 @@ class LimitOp(Operator):
                     return
                 remaining -= 1
             yield row
+
+    def batches_impl(self):
+        remaining = self.limit
+        if remaining is not None and remaining <= 0:
+            return
+        to_skip = self.offset
+        for block in self.child.batches():
+            count = block.selected_count()
+            if count == 0:
+                continue
+            if to_skip >= count:
+                to_skip -= count
+                continue
+            start = to_skip
+            to_skip = 0
+            end = count
+            if remaining is not None:
+                end = min(end, start + remaining)
+            if start == 0 and end == count:
+                yield block
+            else:
+                positions = block.positions()
+                sel = list(positions[start:end])
+                yield ColumnBatch(block.columns, block.length, sel)
+            if remaining is not None:
+                remaining -= end - start
+                if remaining <= 0:
+                    return

@@ -35,8 +35,10 @@ from __future__ import annotations
 
 import copy
 
+from repro.relational import batch as batch_mod
 from repro.relational import expressions as ex
 from repro.relational import operators as op
+from repro.relational.batch import MaterializedRelation
 from repro.relational.errors import BindError
 from repro.relational.sql import ast_nodes as ast
 
@@ -48,12 +50,38 @@ LIKE_SELECTIVITY = 0.1
 NOTNULL_SELECTIVITY = 0.9
 
 
+def _lazy_batch(expression, ctx):
+    """Batch kernel for *expression* that compiles on first use.
+
+    Row closures are always compiled eagerly (they surface bind errors at
+    plan time and serve as the fallback), so compiling the batch kernel
+    too would double the plan-time expression work — measurable on point
+    queries, where planning dominates.  Deferring to the first block means
+    operators that never execute, or that run in row mode, pay nothing.
+    """
+    compiled = None
+
+    def kernel(columns, positions):
+        nonlocal compiled
+        if compiled is None:
+            compiled = expression.compile_batch(ctx)
+        return compiled(columns, positions)
+
+    return kernel
+
+
 class Runtime:
-    """Per-statement execution environment: the visible CTE results."""
+    """Per-statement execution environment: the visible CTE results.
+
+    ``ctes`` maps each name to ``(column_names, source)`` where *source*
+    is a :class:`MaterializedRelation` (vectorized materialization) or a
+    plain row list (row mode, recursive CTEs) — ``MaterializedScan``
+    accepts either.
+    """
 
     def __init__(self, database):
         self.database = database
-        self.ctes = {}  # name -> (column_names, rows)
+        self.ctes = {}  # name -> (column_names, rows or MaterializedRelation)
 
 
 def split_conjuncts(expression):
@@ -114,6 +142,14 @@ class Planner:
             resolver, self.database.functions, self._execute_subquery,
             params=self.params,
         )
+
+    @staticmethod
+    def _batch_fn(expression, ctx):
+        """Vectorized kernel for *expression*, or ``None`` when batch
+        execution is off (the legacy plan path then pays nothing)."""
+        if not batch_mod.enabled():
+            return None
+        return _lazy_batch(expression, ctx)
 
     def const_value(self, expression):
         """Evaluate an expression that must not reference any column."""
@@ -206,7 +242,10 @@ class Planner:
             else:
                 child_fns.append(_through_projection(project.value_fns, fn))
         sorted_child = op.SortOp(project.child, child_fns, descending)
-        return op.ProjectOp(sorted_child, project.value_fns, project.columns)
+        return op.ProjectOp(
+            sorted_child, project.value_fns, project.columns,
+            batch_fns=project.batch_fns,
+        )
 
     # ------------------------------------------------------------------
     # CTE materialization
@@ -256,7 +295,9 @@ class Planner:
 
             instrument_plan(plan, self.stats)
             self.stats.cte_plans.append((name, plan))
-        self.runtime.ctes[name] = (columns, list(plan.rows()))
+        # vectorized: keep the CTE body columnar so every re-scan of it is
+        # zero-copy; row mode stores the classic row list
+        self.runtime.ctes[name] = (columns, MaterializedRelation.from_plan(plan))
 
     def _materialize_recursive_cte(self, cte):
         name = cte.name.lower()
@@ -339,10 +380,12 @@ class Planner:
         plan = self._plan_from_clause(select.from_items, conjuncts)
         if conjuncts:
             ctx = self._ctx(plan.columns)
-            predicate = ex.And(conjuncts).compile(ctx) if len(conjuncts) > 1 else (
-                conjuncts[0].compile(ctx)
+            expression = ex.And(conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+            plan = op.FilterOp(
+                plan,
+                expression.compile(ctx),
+                predicate_batch=self._batch_fn(expression, ctx),
             )
-            plan = op.FilterOp(plan, predicate)
         plan = self._apply_projection(plan, select)
         if select.distinct:
             plan = op.DistinctOp(plan)
@@ -380,8 +423,11 @@ class Planner:
             return self._apply_aggregation(plan, select, items)
         ctx = self._ctx(plan.columns)
         value_fns = [item.expr.compile(ctx) for item in items]
+        batch_fns = None
+        if batch_mod.enabled():
+            batch_fns = [_lazy_batch(item.expr, ctx) for item in items]
         columns = [(None, self._output_name(item, i)) for i, item in enumerate(items)]
-        return op.ProjectOp(plan, value_fns, columns)
+        return op.ProjectOp(plan, value_fns, columns, batch_fns=batch_fns)
 
     @staticmethod
     def _output_name(item, position):
@@ -393,13 +439,18 @@ class Planner:
 
     def _apply_aggregation(self, plan, select, items):
         child_ctx = self._ctx(plan.columns)
+        vectorize = batch_mod.enabled()
         group_fns = []
+        group_batch_fns = [] if vectorize else None
         group_fingerprints = []
         for group_expr in select.group_by:
             group_fns.append(group_expr.compile(child_ctx))
+            if vectorize:
+                group_batch_fns.append(_lazy_batch(group_expr, child_ctx))
             group_fingerprints.append(safe_fingerprint(group_expr))
 
         agg_specs = []  # (kind, value_fn_or_None, distinct)
+        agg_batch_fns = [] if vectorize else None  # aligned with agg_specs
         agg_keys = {}  # fingerprint -> agg index, for dedup
 
         def rewrite(expression):
@@ -414,6 +465,7 @@ class Planner:
                 if kind == "count" and getattr(expression, "star", False):
                     kind = "count_star"
                     value_fn = None
+                    value_batch_fn = None
                     key = ("count_star", False)
                 else:
                     if len(expression.args) != 1:
@@ -423,11 +475,18 @@ class Planner:
                     arg_fp = safe_fingerprint(expression.args[0])
                     key = (kind, expression.distinct, arg_fp)
                     value_fn = expression.args[0].compile(child_ctx)
+                    value_batch_fn = (
+                        _lazy_batch(expression.args[0], child_ctx)
+                        if vectorize
+                        else None
+                    )
                 if key in agg_keys and key[-1] is not None:
                     position = agg_keys[key]
                 else:
                     position = len(agg_specs)
                     agg_specs.append((kind, value_fn, expression.distinct))
+                    if vectorize:
+                        agg_batch_fns.append(value_batch_fn)
                     agg_keys[key] = position
                 return ex.ColumnRef(None, f"$agg{position}")
             rebuilt = self._rebuild_with_children(expression, rewrite)
@@ -441,17 +500,29 @@ class Planner:
         inner_columns = [(None, f"$grp{i}") for i in range(len(group_fns))] + [
             (None, f"$agg{i}") for i in range(len(agg_specs))
         ]
-        agg_plan = op.AggregateOp(plan, group_fns, agg_specs, inner_columns)
+        agg_plan = op.AggregateOp(
+            plan, group_fns, agg_specs, inner_columns,
+            group_batch_fns=group_batch_fns, agg_batch_fns=agg_batch_fns,
+        )
         inner_ctx = self._ctx(inner_columns)
         if having_rewritten is not None:
-            agg_plan = op.FilterOp(agg_plan, having_rewritten.compile(inner_ctx))
+            agg_plan = op.FilterOp(
+                agg_plan,
+                having_rewritten.compile(inner_ctx),
+                predicate_batch=self._batch_fn(having_rewritten, inner_ctx),
+            )
             inner_ctx = self._ctx(inner_columns)
         value_fns = [expr.compile(inner_ctx) for expr, __ in rewritten_items]
+        batch_fns = None
+        if vectorize:
+            batch_fns = [
+                _lazy_batch(expr, inner_ctx) for expr, __ in rewritten_items
+            ]
         out_columns = [
             (None, self._output_name(item, i))
             for i, (__, item) in enumerate(rewritten_items)
         ]
-        return op.ProjectOp(agg_plan, value_fns, out_columns)
+        return op.ProjectOp(agg_plan, value_fns, out_columns, batch_fns=batch_fns)
 
     def _rebuild_with_children(self, expression, transform):
         """Return a copy of *expression* with *transform* applied to child
@@ -535,14 +606,15 @@ class Planner:
         child = Planner(self.database, self.runtime, params=self.params)
         plan = child.plan_query_expr(source.query)
         alias = source.alias.lower()
-        rows = list(plan.rows())
         columns = [(alias, name) for __, name in plan.columns]
-        return op.MaterializedScan(rows, columns)
+        return op.MaterializedScan(MaterializedRelation.from_plan(plan), columns)
 
     def _apply_unnest(self, child, unnest):
         ctx = self._ctx(child.columns)
+        vectorize = batch_mod.enabled()
         width = len(unnest.columns)
         rows_of_fns = []
+        rows_of_batch_fns = [] if vectorize else None
         for row_exprs in unnest.rows:
             if len(row_exprs) != width:
                 raise BindError(
@@ -550,9 +622,15 @@ class Planner:
                     f"{width} columns"
                 )
             rows_of_fns.append([expr.compile(ctx) for expr in row_exprs])
+            if vectorize:
+                rows_of_batch_fns.append(
+                    [_lazy_batch(expr, ctx) for expr in row_exprs]
+                )
         alias = unnest.alias.lower()
         columns = [(alias, col.lower()) for col in unnest.columns]
-        return op.LateralUnnestOp(child, rows_of_fns, columns)
+        return op.LateralUnnestOp(
+            child, rows_of_fns, columns, rows_of_batch_fns=rows_of_batch_fns
+        )
 
     def _plan_left_join(self, left_plan, join):
         if isinstance(join.right, ast.TableRef):
@@ -577,6 +655,11 @@ class Planner:
         if equi_pairs:
             left_ctx = self._ctx(left_plan.columns)
             left_key_fns = [pair[0].compile(left_ctx) for pair in equi_pairs]
+            left_key_batch_fns = None
+            if batch_mod.enabled():
+                left_key_batch_fns = [
+                    _lazy_batch(pair[0], left_ctx) for pair in equi_pairs
+                ]
             # prefer an index nested-loop when the right side is a base table
             # with an index on exactly the join key
             if isinstance(right_leaf, op.SeqScan) and len(equi_pairs) == 1:
@@ -591,12 +674,20 @@ class Planner:
                         left_key_fns,
                         residual=residual_fn,
                         kind="left",
+                        outer_key_batch_fns=left_key_batch_fns,
                     )
             right_ctx = self._ctx(right_leaf.columns)
             right_key_fns = [pair[1].compile(right_ctx) for pair in equi_pairs]
+            right_key_batch_fns = None
+            if batch_mod.enabled():
+                right_key_batch_fns = [
+                    _lazy_batch(pair[1], right_ctx) for pair in equi_pairs
+                ]
             return op.HashJoinOp(
                 left_plan, right_leaf, left_key_fns, right_key_fns, "left",
                 residual_fn,
+                left_key_batch_fns=left_key_batch_fns,
+                right_key_batch_fns=right_key_batch_fns,
             )
         condition_fn = None
         if condition_conjuncts:
@@ -706,6 +797,11 @@ class Planner:
             return op.NestedLoopJoinOp(current, candidate, residual_fn, "inner")
         left_ctx = self._ctx(current.columns)
         outer_key_fns = [pair[0].compile(left_ctx) for pair in pairs]
+        outer_key_batch_fns = None
+        if batch_mod.enabled():
+            outer_key_batch_fns = [
+                _lazy_batch(pair[0], left_ctx) for pair in pairs
+            ]
         # index nested loop into a base table when probing is cheap; the
         # candidate's pushed-down conjuncts (recorded by _apply_access_path)
         # are re-applied as join residuals since the index bypasses its
@@ -762,18 +858,29 @@ class Planner:
                     outer_key_fns,
                     residual=combined_fn,
                     est_rows=max(current.est_rows, candidate.est_rows),
+                    outer_key_batch_fns=outer_key_batch_fns,
                 )
         right_ctx = self._ctx(candidate.columns)
         inner_key_fns = [pair[1].compile(right_ctx) for pair in pairs]
+        inner_key_batch_fns = None
+        if batch_mod.enabled():
+            inner_key_batch_fns = [
+                _lazy_batch(pair[1], right_ctx) for pair in pairs
+            ]
         est = max(current.est_rows, candidate.est_rows)
         if candidate.est_rows <= current.est_rows:
             return op.HashJoinOp(
                 current, candidate, outer_key_fns, inner_key_fns, "inner",
                 residual_fn, est,
+                left_key_batch_fns=outer_key_batch_fns,
+                right_key_batch_fns=inner_key_batch_fns,
             )
         # build on the smaller (current) side by swapping children
         swapped = op.HashJoinOp(
-            candidate, current, inner_key_fns, outer_key_fns, "inner", None, est
+            candidate, current, inner_key_fns, outer_key_fns, "inner", None,
+            est,
+            left_key_batch_fns=inner_key_batch_fns,
+            right_key_batch_fns=outer_key_batch_fns,
         )
         if residual_fn is None:
             return swapped
@@ -794,8 +901,10 @@ class Planner:
         if not isinstance(leaf, op.SeqScan):
             ctx = self._ctx(leaf.columns)
             predicate = self._conjunction_fn(local_conjuncts, ctx)
-            est = max(1, int(leaf.est_rows * (EQ_FALLBACK_SELECTIVITY ** 0)))
-            return op.FilterOp(leaf, predicate, max(1, leaf.est_rows // 3))
+            return op.FilterOp(
+                leaf, predicate, max(1, leaf.est_rows // 3),
+                predicate_batch=self._conjunction_batch_fn(local_conjuncts, ctx),
+            )
 
         table = leaf.table
         qualifier = leaf.qualifier
@@ -811,17 +920,29 @@ class Planner:
             ctx = self._ctx(leaf.columns)
             predicate = self._conjunction_fn(local_conjuncts, ctx)
             est = self._estimate_filtered(table.live_rows, local_conjuncts)
-            scan = op.SeqScan(table, qualifier, predicate, est)
+            scan = op.SeqScan(
+                table, qualifier, predicate, est,
+                predicate_batch=self._conjunction_batch_fn(local_conjuncts, ctx),
+            )
             self._mark_base(scan, table, qualifier, local_conjuncts)
             return scan
         factory, est, consumed = chosen
         rest = [conjunct for conjunct in local_conjuncts if conjunct is not consumed]
         predicate = None
+        predicate_batch = None
         if rest:
             ctx = self._ctx(leaf.columns)
             predicate = self._conjunction_fn(rest, ctx)
+            predicate_batch = self._conjunction_batch_fn(rest, ctx)
             est = self._estimate_filtered(est, rest)
         scan = factory(predicate, max(1, int(est)))
+        # only attach the vectorized residual when the factory installed the
+        # row predicate unchanged (the prefix-LIKE factory wraps it with an
+        # extra row closure the batch kernel would not include)
+        if predicate_batch is not None and (
+            getattr(scan, "predicate", None) is predicate
+        ):
+            scan.predicate_batch = predicate_batch
         self._mark_base(scan, table, qualifier, local_conjuncts)
         return scan
 
@@ -836,6 +957,15 @@ class Planner:
         if len(conjuncts) == 1:
             return conjuncts[0].compile(ctx)
         return ex.And(list(conjuncts)).compile(ctx)
+
+    def _conjunction_batch_fn(self, conjuncts, ctx):
+        """Vectorized counterpart of :meth:`_conjunction_fn` (``None`` when
+        batch execution is off)."""
+        if not batch_mod.enabled():
+            return None
+        if len(conjuncts) == 1:
+            return _lazy_batch(conjuncts[0], ctx)
+        return _lazy_batch(ex.And(list(conjuncts)), ctx)
 
     def _estimate_filtered(self, base_rows, conjuncts):
         estimate = base_rows

@@ -100,6 +100,25 @@ class HeapTable:
         rows = self._pool.fetch(self, page_no)
         return rows[slot]
 
+    def get_many(self, rids):
+        """Return the rows at *rids* in order (deleted slots as ``None``).
+
+        Batched point lookup for the vectorized executor: each distinct
+        page is fetched from the buffer pool once per call, so an index
+        probe over co-located RIDs pays one pool touch per page instead
+        of one per row.
+        """
+        fetch = self._pool.fetch
+        pages = {}
+        out = []
+        append = out.append
+        for page_no, slot in rids:
+            rows = pages.get(page_no)
+            if rows is None:
+                rows = pages[page_no] = fetch(self, page_no)
+            append(rows[slot])
+        return out
+
     def delete(self, rid):
         """Tombstone the row at *rid*; returns the old row (or ``None``)."""
         page_no, slot = rid
@@ -231,6 +250,32 @@ class HeapTable:
             for row in self._pool.fetch(self, page_no):
                 if row is not None:
                     yield row
+
+    def scan_batches(self, batch_size=None):
+        """Yield live rows as dense :class:`~repro.relational.batch.
+        ColumnBatch` blocks, in heap order.
+
+        Each page's live rows are transposed with ``zip(*rows)`` (C speed)
+        and accumulated until *batch_size* rows are buffered; tombstoned
+        slots are filtered out before transposing, so emitted batches are
+        always dense (``sel is None``).
+        """
+        from repro.relational.batch import BATCH_SIZE, ColumnBatch
+
+        if batch_size is None:
+            batch_size = BATCH_SIZE
+        width = len(self.schema.columns)
+        buffered = []
+        for page_no in range(self._page_count):
+            page = self._pool.fetch(self, page_no)
+            live = [row for row in page if row is not None]
+            if live:
+                buffered.extend(live)
+            if len(buffered) >= batch_size:
+                yield ColumnBatch.from_rows(buffered, width)
+                buffered = []
+        if buffered:
+            yield ColumnBatch.from_rows(buffered, width)
 
     # ------------------------------------------------------------------
     # index management
