@@ -17,10 +17,12 @@ are caught across the repo-root and ``docs/`` markdown files:
    documented, backticked, in ``docs/OBSERVABILITY.md``; adding a field
    to the renderer without documenting it fails the docs job.
 5. **Benchmark-number sync** — every string in the ``summary`` block of
-   ``benchmarks/results/BENCH_vectorized.json`` must appear verbatim in
-   ``docs/EXECUTION.md``, so the handbook's measured numbers cannot
-   drift from the committed benchmark record (re-recording the
-   benchmark means updating the handbook in the same commit).
+   a committed benchmark record must appear verbatim in its handbook
+   (``BENCH_vectorized.json`` ↔ ``docs/EXECUTION.md``,
+   ``BENCH_optimizer.json`` ↔ ``docs/OPTIMIZER.md``), so the handbook's
+   measured numbers cannot drift from the committed benchmark record
+   (re-recording the benchmark means updating the handbook in the same
+   commit).
 
 ``tools/check_docs_links.py`` remains as a thin wrapper over
 :func:`run` for back-compatibility with ``tests/test_docs_links.py``.
@@ -63,6 +65,14 @@ STATS_SOURCE = "src/repro/obs/stats.py"
 OBSERVABILITY_DOC = "docs/OBSERVABILITY.md"
 BENCH_VECTORIZED_JSON = "benchmarks/results/BENCH_vectorized.json"
 EXECUTION_DOC = "docs/EXECUTION.md"
+BENCH_OPTIMIZER_JSON = "benchmarks/results/BENCH_optimizer.json"
+OPTIMIZER_DOC = "docs/OPTIMIZER.md"
+
+#: every committed benchmark record and the handbook that quotes it
+BENCHMARK_SYNC_PAIRS = (
+    (BENCH_VECTORIZED_JSON, EXECUTION_DOC),
+    (BENCH_OPTIMIZER_JSON, OPTIMIZER_DOC),
+)
 
 
 def markdown_files(root):
@@ -163,34 +173,38 @@ def check_annotation_fields(root):
 def check_benchmark_sync(root):
     """``(doc, line, problem)`` for handbook/benchmark number drift.
 
-    Every string value in BENCH_vectorized.json's ``summary`` object must
-    appear verbatim in docs/EXECUTION.md.  Checked against the committed
-    files only — no benchmark is re-run.
+    For every ``(record, handbook)`` pair in BENCHMARK_SYNC_PAIRS, each
+    string value in the record's ``summary`` object must appear verbatim
+    in the handbook.  Checked against the committed files only — no
+    benchmark is re-run.
     """
     root = pathlib.Path(root)
-    json_path = root / BENCH_VECTORIZED_JSON
-    if not json_path.exists():
-        return []
-    try:
-        summary = json.loads(json_path.read_text()).get("summary", {})
-    except (ValueError, AttributeError):
-        return [(BENCH_VECTORIZED_JSON, 1,
-                 f"unparseable benchmark record: {BENCH_VECTORIZED_JSON}")]
-    doc_path = root / EXECUTION_DOC
-    if not doc_path.exists():
-        return [(EXECUTION_DOC, 1,
-                 f"missing document: {EXECUTION_DOC} must quote the "
-                 f"{BENCH_VECTORIZED_JSON} summary strings")]
-    text = doc_path.read_text()
     problems = []
-    for key, value in sorted(summary.items()):
-        if isinstance(value, str) and value not in text:
-            problems.append((
-                EXECUTION_DOC, 1,
-                f"stale benchmark reference: summary[{key!r}] of "
-                f"{BENCH_VECTORIZED_JSON} ({value!r}) does not appear "
-                f"verbatim in {EXECUTION_DOC}",
-            ))
+    for json_name, doc_name in BENCHMARK_SYNC_PAIRS:
+        json_path = root / json_name
+        if not json_path.exists():
+            continue
+        try:
+            summary = json.loads(json_path.read_text()).get("summary", {})
+        except (ValueError, AttributeError):
+            problems.append((json_name, 1,
+                             f"unparseable benchmark record: {json_name}"))
+            continue
+        doc_path = root / doc_name
+        if not doc_path.exists():
+            problems.append((doc_name, 1,
+                             f"missing document: {doc_name} must quote the "
+                             f"{json_name} summary strings"))
+            continue
+        text = doc_path.read_text()
+        for key, value in sorted(summary.items()):
+            if isinstance(value, str) and value not in text:
+                problems.append((
+                    doc_name, 1,
+                    f"stale benchmark reference: summary[{key!r}] of "
+                    f"{json_name} ({value!r}) does not appear "
+                    f"verbatim in {doc_name}",
+                ))
     return problems
 
 
@@ -223,8 +237,8 @@ def run(root):
     description="markdown docs must not reference dead links, missing "
     "files, or CLI commands the shell no longer dispatches; "
     "docs/OBSERVABILITY.md must document every EXPLAIN ANALYZE "
-    "annotation field and docs/EXECUTION.md must quote the committed "
-    "BENCH_vectorized.json summary verbatim",
+    "annotation field and each benchmark handbook must quote its "
+    "committed BENCH_*.json summary verbatim",
 )
 def check_docs_links(context):
     root = context.root

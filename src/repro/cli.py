@@ -16,6 +16,8 @@ colon::
     sqlgraph> :explain g.v(1).out.out       -- show the engine's plan
     sqlgraph> :analyze g.v(1).out.out       -- run it: actual rows + timings
     sqlgraph> :sql SELECT COUNT(*) FROM ea  -- raw SQL escape hatch
+    sqlgraph> :analyze-tables               -- collect optimizer statistics
+                                               (optionally one table name)
     sqlgraph> :stats                        -- table sizes, load report,
                                                last-query stats
     sqlgraph> :checkpoint                   -- snapshot + truncate the WAL
@@ -26,6 +28,11 @@ the engine for the plan — ``:analyze`` additionally executes it and
 annotates every operator with actual row counts and wall time (see
 docs/OBSERVABILITY.md).  ``:stats`` appends the most recent query's
 translation trace and execution counters when one has run.
+
+``:analyze-tables`` runs the SQL ``ANALYZE`` statement: it samples every
+table (or just the named one) and installs per-column statistics the
+cost-based planner uses for selectivity and join ordering (see
+docs/OPTIMIZER.md); ``:stats`` then lists the analyzed tables.
 
 ``--path`` opens a durable store: the first run loads the dataset and
 every later run recovers the persisted graph (including any CRUD done in
@@ -130,6 +137,16 @@ def _execute_command(store, line):
             )
             return f"{header}\n{body}" if body else header
         return f"ok ({result.rowcount} rows affected)"
+    if command == ":analyze-tables":
+        sql = "ANALYZE" if not argument else f"ANALYZE {argument}"
+        try:
+            result = store.database.execute(sql)
+        except EngineError as exc:
+            return f"cannot analyze: {type(exc).__name__}: {exc}"
+        return "\n".join(
+            f"{name:6} {rows:>10} rows ({sample} sampled)"
+            for name, rows, sample in result.rows
+        ) or "(no tables)"
     if command == ":stats":
         stats = store.table_stats()
         lines = [f"{name:6} {count:>10} rows" for name, count in
@@ -141,6 +158,17 @@ def _execute_command(store, line):
             f"{report.out.spill_percentage:.2f}%, in spill "
             f"{report.incoming.spill_percentage:.2f}%"
         )
+        analyzed = stats.get("statistics") or {}
+        if analyzed:
+            lines.append(
+                "optimizer statistics: "
+                + ", ".join(sorted(analyzed))
+                + " (run :analyze-tables to refresh)"
+            )
+        else:
+            lines.append(
+                "optimizer statistics: none (run :analyze-tables)"
+            )
         lines.extend(_cache_lines(store))
         lines.extend(_wal_lines(store))
         lines.extend(_last_query_lines(store))

@@ -30,20 +30,38 @@ from time import perf_counter
 
 #: annotation fields EXPLAIN ANALYZE can emit per operator; the reprolint
 #: docs-links rule keeps docs/OBSERVABILITY.md mentioning each of these.
-EXPLAIN_ANNOTATION_FIELDS = ("actual_rows", "batches", "time")
+EXPLAIN_ANNOTATION_FIELDS = (
+    "est_rows", "actual_rows", "batches", "time", "q_err",
+)
+
+
+def q_error(estimated, actual):
+    """Per-operator Q-error: ``max(est/act, act/est)`` with a floor of 1
+    on both sides (the standard cardinality-estimation quality metric —
+    1.0 is a perfect estimate, symmetric in over- and underestimation)."""
+    estimated = max(float(estimated), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimated / actual, actual / estimated)
 
 
 class OperatorStats:
     """Actual row count, batch count and inclusive wall time for one plan
-    operator."""
+    operator, plus the planner's row estimate for est-vs-actual feedback."""
 
-    __slots__ = ("rows_out", "batches_out", "time_s", "started")
+    __slots__ = ("rows_out", "batches_out", "time_s", "started", "est_rows")
 
     def __init__(self):
         self.rows_out = 0
         self.batches_out = 0
         self.time_s = 0.0
         self.started = False
+        self.est_rows = None
+
+    def q_error(self):
+        """Q-error of this operator, or ``None`` before execution."""
+        if not self.started or self.est_rows is None:
+            return None
+        return q_error(self.est_rows, self.rows_out)
 
 
 class ExecutionStats:
@@ -77,6 +95,25 @@ class ExecutionStats:
     def total_operator_rows(self):
         return sum(entry.rows_out for entry in self.operators.values())
 
+    def operator_q_errors(self):
+        """Q-errors of every operator that executed (unordered)."""
+        errors = []
+        for entry in self.operators.values():
+            error = entry.q_error()
+            if error is not None:
+                errors.append(error)
+        return errors
+
+    def median_q_error(self):
+        """Median per-operator Q-error, or ``None`` if nothing executed."""
+        errors = sorted(self.operator_q_errors())
+        if not errors:
+            return None
+        middle = len(errors) // 2
+        if len(errors) % 2:
+            return errors[middle]
+        return (errors[middle - 1] + errors[middle]) / 2
+
     def as_dict(self):
         return {
             "sql": self.sql,
@@ -88,6 +125,7 @@ class ExecutionStats:
             "index_probes": self.index_probes,
             "index_range_scans": self.index_range_scans,
             "lock_wait_s": self.lock_wait_s,
+            "median_q_error": self.median_q_error(),
             "session_id": self.session_id,
             "connection": self.connection,
         }
@@ -106,6 +144,7 @@ def instrument_plan(plan, stats):
             return
         seen.add(id(operator))
         entry = OperatorStats()
+        entry.est_rows = getattr(operator, "est_rows", None)
         stats.operators[id(operator)] = entry
 
         uses_batches = getattr(operator, "uses_batches", None)
@@ -172,9 +211,11 @@ def render_analyzed_plan(plan, stats, indent=0):
         batches = (
             f" batches={entry.batches_out}" if entry.batches_out else ""
         )
+        error = entry.q_error()
+        q_err = f" q_err={error:.2f}" if error is not None else ""
         annotation = (
             f"  (actual_rows={entry.rows_out}{batches}"
-            f" time={entry.time_s * 1000:.3f}ms)"
+            f" time={entry.time_s * 1000:.3f}ms{q_err})"
         )
     lines = [
         f"{'  ' * indent}{plan.describe()}  (est_rows={plan.est_rows})"

@@ -32,7 +32,39 @@ from repro.relational.planner import Planner, Runtime
 from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.relational.sql import ast_nodes as ast
 from repro.relational.sql.parser import parse_statement
+from repro.relational.stats import META_STATS_KEY, StatisticsRegistry
 from repro.relational.table import HeapTable
+
+#: recognized planner options and their validators.  Options are read
+#: through :meth:`Database.planner_option`, never via raw dict access —
+#: a typo'd name or a non-numeric value fails loudly at construction
+#: instead of silently planning with a default mid-join-ordering.
+PLANNER_OPTION_SPECS = {
+    "index_probe_cost": "positive number",
+}
+
+
+def validate_planner_options(options):
+    """Type-check a ``planner_options`` mapping; returns a clean dict."""
+    validated = {}
+    for name, value in (options or {}).items():
+        if name not in PLANNER_OPTION_SPECS:
+            known = ", ".join(sorted(PLANNER_OPTION_SPECS))
+            raise ValueError(
+                f"unknown planner option {name!r} (known: {known})"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"planner option {name!r} must be a "
+                f"{PLANNER_OPTION_SPECS[name]}, got {value!r}"
+            )
+        if value <= 0:
+            raise ValueError(
+                f"planner option {name!r} must be a "
+                f"{PLANNER_OPTION_SPECS[name]}, got {value!r}"
+            )
+        validated[name] = float(value)
+    return validated
 
 
 class ResultSet:
@@ -258,7 +290,10 @@ class Database:
         self.catalog.txn_source = self.current_transaction
         self.functions = ex.default_functions()
         self.locks = LockManager(lock_timeout)
-        self.planner_options = dict(planner_options or {})
+        self.planner_options = validate_planner_options(planner_options)
+        #: ANALYZE statistics (see repro.relational.stats); consulted by
+        #: every planner when REPRO_COSTED is on
+        self.statistics = StatisticsRegistry()
         self._local = threading.local()
         self.statements_executed = 0  # guarded-by: _txn_guard
         #: monotonic counter bumped by every DDL statement; prepared plans
@@ -305,6 +340,11 @@ class Database:
         for table in self.catalog._tables.values():
             table.wal = self.wal
             table.txn_source = self.catalog.txn_source
+        # ANALYZE statistics ride the meta channel: reload them (validated
+        # against the recovered catalog) so the cost model survives restarts
+        payload = self.meta.get(META_STATS_KEY)
+        if payload:
+            self.statistics.load_meta(self, payload)
         # Checkpoint immediately: the recovered state becomes the snapshot
         # and the (possibly long, possibly torn) log is truncated, so txids
         # from the previous incarnation can never collide with ours.
@@ -407,6 +447,15 @@ class Database:
     def _planner(self, params=None):
         """The one place planners are built (plan-cache re-bind hook)."""
         return Planner(self, Runtime(self), params=params)
+
+    def planner_option(self, name, default=None):
+        """Validated read of one planner option (see PLANNER_OPTION_SPECS)."""
+        if name not in PLANNER_OPTION_SPECS:
+            known = ", ".join(sorted(PLANNER_OPTION_SPECS))
+            raise ValueError(
+                f"unknown planner option {name!r} (known: {known})"
+            )
+        return self.planner_options.get(name, default)
 
     def _bump_schema_epoch(self):
         """Invalidate every compiled plan after a schema change."""
@@ -549,6 +598,11 @@ class Database:
                 self._collect_tables(statement.query, reads)
         elif isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
             writes.add(statement.table.lower())
+        elif isinstance(statement, ast.AnalyzeStatement):
+            if statement.table is not None:
+                reads.add(statement.table.lower())
+            else:
+                reads.update(self.catalog.table_names())
         elif isinstance(
             statement,
             (ast.CreateTableStatement, ast.CreateIndexStatement,
@@ -633,7 +687,30 @@ class Database:
             return self._run_create_index(statement)
         if isinstance(statement, ast.DropTableStatement):
             return self._run_drop_table(statement)
+        if isinstance(statement, ast.AnalyzeStatement):
+            return self._run_analyze(statement)
         raise BindError(f"cannot execute {type(statement).__name__}")
+
+    def _run_analyze(self, statement):
+        """``ANALYZE [table]``: collect statistics, persist via WAL meta."""
+        if statement.table is not None:
+            name = statement.table.lower()
+            if not self.catalog.has_table(name):
+                raise BindError(f"unknown table {statement.table!r}")
+            names = [name]
+        else:
+            names = sorted(self.catalog.table_names())
+        rows = []
+        for name in names:
+            entry = self.statistics.analyze(
+                self.catalog.get_table(name), self.schema_epoch
+            )
+            rows.append((name, entry.row_count, entry.sample_size))
+        self.put_meta(META_STATS_KEY, self.statistics.to_meta())
+        return ResultSet(
+            ["table_name", "row_count", "sample_size"], rows,
+            rowcount=len(rows),
+        )
 
     def _run_select(self, statement, params=None):
         if self.collect_stats:
@@ -722,6 +799,12 @@ class Database:
             f"{stats.index_range_scans} range scans"
         )
         lines.append(f"Locks: {stats.lock_wait_s * 1000:.3f}ms wait")
+        median = stats.median_q_error()
+        if median is not None:
+            lines.append(
+                f"Estimates: median q_err {median:.2f} over "
+                f"{len(stats.operator_q_errors())} operators"
+            )
         if stats.session_id is not None:
             peer = f" ({stats.connection})" if stats.connection else ""
             lines.append(f"Session: {stats.session_id}{peer}")
@@ -907,6 +990,7 @@ class Database:
         if not dropped and not statement.if_exists:
             raise BindError(f"unknown table {statement.name!r}")
         if dropped:
+            self.statistics.forget(statement.name.lower())
             self._bump_schema_epoch()
             self._log_ddl()
         return ResultSet()

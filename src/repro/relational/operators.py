@@ -216,6 +216,41 @@ class Operator:
         """One-line summary used by EXPLAIN."""
         return type(self).__name__
 
+    # ------------------------------------------------------------------
+    # cost interface (consumed by the statistics-driven planner)
+    # ------------------------------------------------------------------
+    #: ANALYZE-derived ``{fingerprint: ndv}`` the planner attaches to base
+    #: accesses; ``distinct_values`` consults it before asking children
+    stats_ndv = None
+
+    def records_output(self):
+        """Estimated output row count (the planner's ``est_rows``)."""
+        return self.est_rows
+
+    def blocks_accessed(self):
+        """Estimated page fetches to produce the full output once."""
+        return sum(child.blocks_accessed() for child in self.children_ops())
+
+    def distinct_values(self, fingerprint):
+        """Estimated distinct values of the expression *fingerprint* in the
+        output, or ``None`` when unknown.
+
+        Pipeline operators pass the question through to whichever child
+        carries the column, capped by their own output cardinality — a
+        filter can only shrink the value set.
+        """
+        local = self.stats_ndv
+        if local is not None and fingerprint in local:
+            return min(local[fingerprint], max(self.records_output(), 1))
+        answers = [
+            child.distinct_values(fingerprint)
+            for child in self.children_ops()
+        ]
+        answers = [answer for answer in answers if answer is not None]
+        if not answers:
+            return None
+        return min(min(answers), max(self.records_output(), 1))
+
 
 def explain_plan(plan, indent=0):
     """Render an operator tree as an indented text plan."""
@@ -247,6 +282,9 @@ class SeqScan(Operator):
     def describe(self):
         suffix = " filtered" if self.predicate is not None else ""
         return f"SeqScan({self.table.name} as {self.qualifier}){suffix}"
+
+    def blocks_accessed(self):
+        return self.table.page_count
 
     def rows_impl(self):
         predicate = self.predicate
@@ -294,6 +332,10 @@ class IndexEqScan(Operator):
             f"IndexEqScan({self.table.name} as {self.qualifier} "
             f"via {self.index.name})"
         )
+
+    def blocks_accessed(self):
+        # each probed row may land on its own page (worst case)
+        return max(self.est_rows, 1)
 
     def _fetch(self):
         table = self.table
@@ -354,6 +396,9 @@ class IndexRangeScan(Operator):
             f"via {self.index.name})"
         )
 
+    def blocks_accessed(self):
+        return max(self.est_rows, 1)
+
     def _fetch(self):
         table = self.table
         for rid in self.index.range_scan(
@@ -409,6 +454,9 @@ class MaterializedScan(Operator):
 
     def describe(self):
         return f"MaterializedScan({self.est_rows} rows)"
+
+    def blocks_accessed(self):
+        return 0  # already resident in memory
 
     def _source_rows(self):
         if isinstance(self.source, MaterializedRelation):
@@ -744,6 +792,10 @@ class IndexNLJoinOp(Operator):
             f"IndexNLJoin[{self.kind}]({self.table.name} as {self.qualifier} "
             f"via {self.index.name})"
         )
+
+    def blocks_accessed(self):
+        # drive the outer once, then roughly one probe page per outer row
+        return self.outer.blocks_accessed() + max(self.outer.records_output(), 1)
 
     def rows_impl(self):
         table = self.table

@@ -38,16 +38,23 @@ import copy
 from repro.relational import batch as batch_mod
 from repro.relational import expressions as ex
 from repro.relational import operators as op
+from repro.relational import stats as stats_mod
 from repro.relational.batch import MaterializedRelation
 from repro.relational.errors import BindError
 from repro.relational.sql import ast_nodes as ast
 
 MAX_RECURSION_ROUNDS = 100_000
+
+# no-statistics fallback constants: exact pre-ANALYZE planner behavior,
+# also what REPRO_COSTED=0 pins the planner to
 DEFAULT_NDV = 20
 EQ_FALLBACK_SELECTIVITY = 0.05
 RANGE_SELECTIVITY = 0.3
 LIKE_SELECTIVITY = 0.1
 NOTNULL_SELECTIVITY = 0.9
+#: cost of re-evaluating one pushed-down conjunct per index-NL-probed row
+#: (relative to a sequentially scanned row); only charged in costed mode
+RESIDUAL_EVAL_COST = 0.5
 
 
 def _lazy_batch(expression, ctx):
@@ -123,6 +130,12 @@ class Planner:
         self.params = params
         #: optional ExecutionStats; when set, CTE sub-plans are instrumented
         self.stats = None
+        #: statistics-driven costing (REPRO_COSTED); snapshotted per plan so
+        #: a knob flip mid-statement cannot mix estimation regimes
+        self.costed = stats_mod.costed_enabled()
+        #: validated planner option, read once per plan (not per join step)
+        self._probe_cost = database.planner_option("index_probe_cost", 1.0)
+        self._stats_cache = {}  # table name -> TableStats or None
 
     # ------------------------------------------------------------------
     # expression compilation helpers
@@ -295,6 +308,16 @@ class Planner:
 
             instrument_plan(plan, self.stats)
             self.stats.cte_plans.append((name, plan))
+        if batch_mod.enabled() and plan.est_rows <= 1:
+            # point-query fast path: a plan-time CTE expected to yield a
+            # single row (the Gremlin seed lookup) is materialized through
+            # the row path — building ColumnBatch blocks and compiling
+            # batch kernels costs more than the one row they would carry
+            with batch_mod.row_mode():
+                self.runtime.ctes[name] = (
+                    columns, MaterializedRelation.from_plan(plan)
+                )
+            return
         # vectorized: keep the CTE body columnar so every re-scan of it is
         # zero-copy; row mode stores the classic row list
         self.runtime.ctes[name] = (columns, MaterializedRelation.from_plan(plan))
@@ -600,7 +623,33 @@ class Planner:
             columns, rows = self.runtime.ctes[name]
             return op.MaterializedScan(rows, [(alias, col) for col in columns])
         table = self.database.catalog.get_table(name)
-        return op.SeqScan(table, alias)
+        scan = op.SeqScan(table, alias)
+        self._attach_table_ndv(scan, table)
+        return scan
+
+    # ------------------------------------------------------------------
+    # statistics access
+    # ------------------------------------------------------------------
+    def _table_stats(self, table):
+        """ANALYZE statistics for *table*, or ``None`` (absent, invalidated
+        by a schema change, or costing disabled)."""
+        if not self.costed:
+            return None
+        name = table.name
+        if name in self._stats_cache:
+            return self._stats_cache[name]
+        registry = getattr(self.database, "statistics", None)
+        entry = None
+        if registry is not None:
+            entry = registry.get(name, self.database.schema_epoch)
+        self._stats_cache[name] = entry
+        return entry
+
+    def _attach_table_ndv(self, plan, table):
+        """Stamp the cost interface's NDV map onto a base-table access."""
+        tstats = self._table_stats(table)
+        if tstats is not None:
+            plan.stats_ndv = tstats.ndv_map()
 
     def _subquery_leaf(self, source):
         child = Planner(self.database, self.runtime, params=self.params)
@@ -751,31 +800,149 @@ class Planner:
         if len(prepared) == 1:
             return prepared[0]
 
+        # cost-based ordering only engages when ANALYZE has run on at least
+        # one participating base table — without statistics the greedy
+        # heuristic below is byte-identical to the pre-statistics planner
+        use_cost = self.costed and any(
+            getattr(leaf, "stats_ndv", None) for leaf in prepared
+        )
         remaining = list(prepared)
         remaining.sort(key=lambda leaf: leaf.est_rows)
-        current = remaining.pop(0)
+        if use_cost and len(remaining) > 1:
+            # the smallest leaf is not always the right driver: putting a
+            # base table on the outer side forfeits probing its join index
+            # (a MaterializedScan can't be probed), so the starting leaf is
+            # chosen by costing every ordered first join
+            current = self._cheapest_driver(remaining, conjuncts)
+            remaining.remove(current)
+        else:
+            current = remaining.pop(0)
         while remaining:
             best = None
             for candidate in remaining:
-                combined_cols = set(current.columns) | set(candidate.columns)
-                usable = [
-                    conjunct
-                    for conjunct in conjuncts
-                    if self._refs_resolvable(conjunct, list(combined_cols))
-                ]
-                pairs, __ = self._extract_equi_pairs(
-                    usable, set(current.columns), set(candidate.columns)
-                )
+                pairs = self._pairs_between(current, candidate, conjuncts)
                 connected = bool(pairs)
-                score = (0 if connected else 1, candidate.est_rows)
+                est_join = None
+                if use_cost:
+                    est_join = self._estimate_join_rows(
+                        current, candidate, pairs
+                    )
+                    # cheapest operator first, then cheapest output;
+                    # leaf cardinality tie-breaks
+                    score = (
+                        0 if connected else 1,
+                        self._join_op_cost(current, candidate, pairs),
+                        est_join, candidate.est_rows,
+                    )
+                else:
+                    score = (0 if connected else 1, candidate.est_rows)
                 if best is None or score < best[0]:
-                    best = (score, candidate)
-            candidate = best[1]
+                    best = (score, candidate, est_join if connected else None)
+            __, candidate, est_hint = best
             remaining.remove(candidate)
-            current = self._join_pair(current, candidate, conjuncts)
+            current = self._join_pair(
+                current, candidate, conjuncts, est_hint=est_hint
+            )
         return current
 
-    def _join_pair(self, current, candidate, conjuncts):
+    def _pairs_between(self, left, right, conjuncts):
+        """Equi-join pairs between two plans (read-only; conjuncts kept)."""
+        combined_cols = set(left.columns) | set(right.columns)
+        usable = [
+            conjunct
+            for conjunct in conjuncts
+            if self._refs_resolvable(conjunct, list(combined_cols))
+        ]
+        pairs, __ = self._extract_equi_pairs(
+            usable, set(left.columns), set(right.columns)
+        )
+        return pairs
+
+    def _cheapest_driver(self, leaves, conjuncts):
+        """The outer side of the cheapest first join over *leaves*."""
+        best = None
+        for outer in leaves:
+            for inner in leaves:
+                if inner is outer:
+                    continue
+                pairs = self._pairs_between(outer, inner, conjuncts)
+                score = (
+                    0 if pairs else 1,
+                    self._join_op_cost(outer, inner, pairs),
+                    self._estimate_join_rows(outer, inner, pairs),
+                    outer.est_rows,
+                )
+                if best is None or score < best[0]:
+                    best = (score, outer)
+        return best[1]
+
+    def _join_op_cost(self, outer, inner, pairs):
+        """Estimated operator cost of joining *outer* to *inner*.
+
+        Mirrors the regime formulas in :meth:`_join_pair`: an index nested
+        loop pays one random probe per outer row, a hash join pays building
+        the inner plus streaming the outer.  A disconnected pair costs the
+        full cross product, keeping cartesian joins last.
+        """
+        outer_rows = max(outer.records_output(), 1)
+        inner_rows = max(inner.records_output(), 1)
+        if not pairs:
+            return outer_rows * inner_rows
+        cost = inner_rows + outer_rows * 0.5
+        if len(pairs) == 1:
+            table = self._probe_target(inner)
+            if table is not None:
+                try:
+                    fingerprint = pairs[0][1].fingerprint()
+                except NotImplementedError:
+                    fingerprint = None
+                if fingerprint is not None and (
+                    table.find_index(fingerprint) is not None
+                ):
+                    # probing bypasses the inner's access path, so its
+                    # pushed conjuncts are re-evaluated per probed row
+                    probe = self._probe_cost + RESIDUAL_EVAL_COST * len(
+                        getattr(inner, "pushed_conjuncts", ()) or ()
+                    )
+                    cost = min(cost, outer_rows * probe)
+        return cost
+
+    @staticmethod
+    def _probe_target(plan):
+        """The base table *plan* could be index-probed into, or ``None``.
+
+        Read-only twin of the detection in :meth:`_join_pair` (which also
+        mutates the scan to record its pushed conjuncts).
+        """
+        table = getattr(plan, "base_table", None)
+        if table is not None:
+            return table
+        if isinstance(plan, op.SeqScan) and plan.predicate is None:
+            return plan.table
+        return None
+
+    def _estimate_join_rows(self, left, right, pairs):
+        """System-R style equi-join cardinality: ``|L||R| / Π max(ndv)``.
+
+        Each equi-pair divides the cross product by the larger side's
+        distinct count for the join key (the smaller value set matches into
+        the larger).  A pair whose NDV is unknown on both sides falls back
+        to dividing by the larger input — the classic primary-key guess.
+        """
+        left_rows = max(left.records_output(), 1)
+        right_rows = max(right.records_output(), 1)
+        estimate = left_rows * right_rows
+        if not pairs:
+            return estimate
+        for left_expr, right_expr in pairs:
+            left_ndv = left.distinct_values(safe_fingerprint(left_expr))
+            right_ndv = right.distinct_values(safe_fingerprint(right_expr))
+            known = [ndv for ndv in (left_ndv, right_ndv) if ndv]
+            denominator = max(known) if known else max(left_rows, right_rows)
+            estimate /= max(denominator, 1)
+        return max(1, int(estimate))
+
+    def _join_pair(self, current, candidate, conjuncts, est_hint=None):
         combined_columns = list(current.columns) + list(candidate.columns)
         usable = [
             conjunct
@@ -827,10 +994,16 @@ class Planner:
             # per outer row; a hash join costs building + scanning both
             # inputs sequentially.  `index_probe_cost` expresses how much a
             # random probe costs relative to a sequentially scanned row
-            # (≈1 in RAM, orders of magnitude more on disk).
-            probe_cost = self.database.planner_options.get(
-                "index_probe_cost", 1.0
-            )
+            # (≈1 in RAM, orders of magnitude more on disk).  With
+            # statistics (est_hint set) the nested loop is additionally
+            # charged for re-evaluating the inner's pushed-down conjuncts
+            # per probed row — probing bypasses the access path that
+            # answered them, so an index-served filter becomes a residual.
+            probe_cost = self._probe_cost
+            if est_hint is not None:
+                probe_cost += (
+                    RESIDUAL_EVAL_COST * len(candidate.pushed_conjuncts)
+                )
             index_join_cost = current.est_rows * probe_cost
             hash_join_cost = candidate.est_rows + current.est_rows * 0.5
             if index is not None and (
@@ -850,16 +1023,23 @@ class Planner:
                         if len(all_residuals) > 1
                         else all_residuals[0].compile(ctx)
                     )
-                return op.IndexNLJoinOp(
+                join_op = op.IndexNLJoinOp(
                     current,
                     base_table,
                     candidate.base_qualifier,
                     index,
                     outer_key_fns,
                     residual=combined_fn,
-                    est_rows=max(current.est_rows, candidate.est_rows),
+                    est_rows=(
+                        est_hint if est_hint is not None
+                        else max(current.est_rows, candidate.est_rows)
+                    ),
                     outer_key_batch_fns=outer_key_batch_fns,
                 )
+                # inner-table NDVs for downstream join-cardinality questions
+                # (the inner side is a raw table, not a child operator)
+                self._attach_table_ndv(join_op, base_table)
+                return join_op
         right_ctx = self._ctx(candidate.columns)
         inner_key_fns = [pair[1].compile(right_ctx) for pair in pairs]
         inner_key_batch_fns = None
@@ -867,7 +1047,10 @@ class Planner:
             inner_key_batch_fns = [
                 _lazy_batch(pair[1], right_ctx) for pair in pairs
             ]
-        est = max(current.est_rows, candidate.est_rows)
+        est = (
+            est_hint if est_hint is not None
+            else max(current.est_rows, candidate.est_rows)
+        )
         if candidate.est_rows <= current.est_rows:
             return op.HashJoinOp(
                 current, candidate, outer_key_fns, inner_key_fns, "inner",
@@ -919,7 +1102,9 @@ class Planner:
         if chosen is None:
             ctx = self._ctx(leaf.columns)
             predicate = self._conjunction_fn(local_conjuncts, ctx)
-            est = self._estimate_filtered(table.live_rows, local_conjuncts)
+            est = self._estimate_filtered(
+                table.live_rows, local_conjuncts, self._table_stats(table)
+            )
             scan = op.SeqScan(
                 table, qualifier, predicate, est,
                 predicate_batch=self._conjunction_batch_fn(local_conjuncts, ctx),
@@ -934,7 +1119,7 @@ class Planner:
             ctx = self._ctx(leaf.columns)
             predicate = self._conjunction_fn(rest, ctx)
             predicate_batch = self._conjunction_batch_fn(rest, ctx)
-            est = self._estimate_filtered(est, rest)
+            est = self._estimate_filtered(est, rest, self._table_stats(table))
         scan = factory(predicate, max(1, int(est)))
         # only attach the vectorized residual when the factory installed the
         # row predicate unchanged (the prefix-LIKE factory wraps it with an
@@ -946,12 +1131,12 @@ class Planner:
         self._mark_base(scan, table, qualifier, local_conjuncts)
         return scan
 
-    @staticmethod
-    def _mark_base(scan, table, qualifier, pushed_conjuncts):
+    def _mark_base(self, scan, table, qualifier, pushed_conjuncts):
         """Record pushdown provenance so joins can re-derive residuals."""
         scan.base_table = table
         scan.base_qualifier = qualifier
         scan.pushed_conjuncts = list(pushed_conjuncts)
+        self._attach_table_ndv(scan, table)
 
     def _conjunction_fn(self, conjuncts, ctx):
         if len(conjuncts) == 1:
@@ -967,20 +1152,111 @@ class Planner:
             return _lazy_batch(conjuncts[0], ctx)
         return _lazy_batch(ex.And(list(conjuncts)), ctx)
 
-    def _estimate_filtered(self, base_rows, conjuncts):
+    def _estimate_filtered(self, base_rows, conjuncts, tstats=None):
         estimate = base_rows
         for conjunct in conjuncts:
-            if isinstance(conjunct, ex.Comparison) and conjunct.op == "=":
-                estimate *= EQ_FALLBACK_SELECTIVITY
-            elif isinstance(conjunct, ex.Comparison):
-                estimate *= RANGE_SELECTIVITY
-            elif isinstance(conjunct, ex.Like):
-                estimate *= LIKE_SELECTIVITY
-            elif isinstance(conjunct, ex.IsNull) and conjunct.negated:
-                estimate *= NOTNULL_SELECTIVITY
-            else:
-                estimate *= 0.5
+            estimate *= self._conjunct_selectivity(conjunct, tstats)
         return max(1, int(estimate))
+
+    def _conjunct_selectivity(self, conjunct, tstats):
+        """Selectivity of one conjunct: histogram/MCV answer when ANALYZE
+        statistics cover the referenced expression, the classic constants
+        otherwise (the exact pre-statistics behavior)."""
+        if tstats is not None:
+            selectivity = self._stats_selectivity(conjunct, tstats)
+            if selectivity is not None:
+                return selectivity
+        if isinstance(conjunct, ex.Comparison) and conjunct.op == "=":
+            return EQ_FALLBACK_SELECTIVITY
+        if isinstance(conjunct, ex.Comparison):
+            return RANGE_SELECTIVITY
+        if isinstance(conjunct, ex.Like):
+            return LIKE_SELECTIVITY
+        if isinstance(conjunct, ex.IsNull) and conjunct.negated:
+            return NOTNULL_SELECTIVITY
+        return 0.5
+
+    def _stats_selectivity(self, conjunct, tstats):
+        """Answer *conjunct* from column statistics, or ``None`` when they
+        cannot (no matching column stats, non-constant comparison, ...)."""
+        if isinstance(conjunct, ex.Comparison):
+            sides = [
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ]
+            for key_side, value_side in sides:
+                if not self._is_const(value_side):
+                    continue
+                if not key_side.references():
+                    continue
+                column = tstats.column(safe_fingerprint(key_side))
+                if column is None:
+                    continue
+                value = self.const_value(value_side)
+                operator = conjunct.op
+                if key_side is conjunct.right and operator in (
+                    "<", "<=", ">", ">=",
+                ):
+                    operator = {
+                        "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                    }[operator]
+                if operator == "=":
+                    return column.eq_selectivity(value)
+                if operator in ("<>", "!="):
+                    return column.ne_selectivity(value)
+                if operator in ("<", "<="):
+                    return column.range_selectivity(
+                        None, value, high_inclusive=operator == "<="
+                    )
+                if operator in (">", ">="):
+                    return column.range_selectivity(
+                        value, None, low_inclusive=operator == ">="
+                    )
+                return None
+            return None
+        if isinstance(conjunct, ex.InList) and not conjunct.negated:
+            if not all(self._is_const(item) for item in conjunct.items):
+                return None
+            column = tstats.column(safe_fingerprint(conjunct.operand))
+            if column is None:
+                return None
+            return column.in_list_selectivity(
+                [self.const_value(item) for item in conjunct.items]
+            )
+        if isinstance(conjunct, ex.Like) and not conjunct.negated:
+            if not isinstance(conjunct.pattern, ex.Literal):
+                return None
+            pattern = conjunct.pattern.value
+            if not isinstance(pattern, str) or not pattern:
+                return None
+            prefix_end = min(
+                (pattern.index(ch) for ch in "%_" if ch in pattern),
+                default=len(pattern),
+            )
+            prefix = pattern[:prefix_end]
+            if not prefix:
+                return None
+            column = tstats.column(safe_fingerprint(conjunct.operand))
+            if column is None:
+                return None
+            return column.like_prefix_selectivity(prefix)
+        if isinstance(conjunct, ex.IsNull):
+            column = tstats.column(safe_fingerprint(conjunct.operand))
+            if column is None:
+                return None
+            if conjunct.negated:
+                return column.not_null_selectivity()
+            return column.null_selectivity()
+        return None
+
+    def _index_access_est(self, table, conjunct, fallback_est):
+        """Index-access row estimate: statistics-based when available."""
+        tstats = self._table_stats(table)
+        if tstats is not None:
+            selectivity = self._stats_selectivity(conjunct, tstats)
+            if selectivity is not None:
+                return max(1, int(table.live_rows * selectivity))
+        return fallback_est
 
     def _match_index_access(self, table, qualifier, conjunct):
         """Try to satisfy *conjunct* with an index; returns (factory, est)."""
@@ -990,7 +1266,10 @@ class Planner:
             index = table.find_index(conjunct.operand.fingerprint(), kind="sorted")
             if index is None:
                 return None
-            est = max(1, int(table.live_rows * NOTNULL_SELECTIVITY))
+            est = self._index_access_est(
+                table, conjunct,
+                max(1, int(table.live_rows * NOTNULL_SELECTIVITY)),
+            )
 
             def factory(predicate, est_rows, _index=index):
                 return op.IndexRangeScan(
@@ -1015,7 +1294,10 @@ class Planner:
             index = table.find_index(conjunct.operand.fingerprint(), kind="sorted")
             if index is None:
                 return None
-            est = max(1, int(table.live_rows * LIKE_SELECTIVITY))
+            est = self._index_access_est(
+                table, conjunct,
+                max(1, int(table.live_rows * LIKE_SELECTIVITY)),
+            )
             high = prefix + "￿"
             full_predicate_needed = prefix != pattern
 
@@ -1046,7 +1328,9 @@ class Planner:
                 return None
             keys = [self.const_value(item) for item in conjunct.items]
             ndv = max(self._index_ndv(index), 1)
-            est = max(1, len(keys) * table.live_rows // ndv)
+            est = self._index_access_est(
+                table, conjunct, max(1, len(keys) * table.live_rows // ndv)
+            )
 
             def factory(predicate, est_rows, _index=index, _keys=keys):
                 return op.IndexEqScan(
@@ -1076,7 +1360,9 @@ class Planner:
                     continue
                 key = self.const_value(value_side)
                 ndv = max(self._index_ndv(index), 1)
-                est = max(1, table.live_rows // ndv)
+                est = self._index_access_est(
+                    table, conjunct, max(1, table.live_rows // ndv)
+                )
 
                 def factory(predicate, est_rows, _index=index, _key=key):
                     return op.IndexEqScan(
@@ -1101,7 +1387,10 @@ class Planner:
                 else:
                     low = bound
                     low_inc = operator == ">="
-                est = max(1, int(table.live_rows * RANGE_SELECTIVITY))
+                est = self._index_access_est(
+                    table, conjunct,
+                    max(1, int(table.live_rows * RANGE_SELECTIVITY)),
+                )
 
                 def factory(
                     predicate, est_rows, _index=index, _low=low, _high=high,

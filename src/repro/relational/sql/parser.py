@@ -110,6 +110,11 @@ class _Parser:
             return self.parse_create()
         if self.check_keyword("DROP"):
             return self.parse_drop()
+        if self.accept_keyword("ANALYZE"):
+            table = None
+            if self.current.kind != "EOF" and not self.check_op(";"):
+                table = self.expect_ident()
+            return ast.AnalyzeStatement(table=table)
         raise SqlSyntaxError(
             f"cannot parse statement starting with {self.current.value!r}",
             self.current.position,

@@ -22,6 +22,10 @@ class HeapTable:
         self._page_count = 0
         self._last_page_size = 0
         self.live_rows = 0
+        #: monotonic mutation watermarks — the statistics subsystem records
+        #: them at ANALYZE time to measure drift (never decremented)
+        self.insert_count = 0
+        self.delete_count = 0
         self.indexes: dict[str, object] = {}
         #: write-ahead log all mutations report to (None = in-memory only);
         #: installed by the catalog of a durable database
@@ -86,6 +90,7 @@ class HeapTable:
         rows.append(row)
         self._last_page_size = slot + 1
         self.live_rows += 1
+        self.insert_count += 1
         transaction = self._transaction()
         if transaction is not None:
             transaction.record_insert(self, rid)
@@ -130,6 +135,7 @@ class HeapTable:
             index.delete(rid, old)
         rows[slot] = None
         self.live_rows -= 1
+        self.delete_count += 1
         transaction = self._transaction()
         if transaction is not None:
             transaction.record_delete(self, rid, old)
@@ -167,6 +173,7 @@ class HeapTable:
             index.insert(rid, row)
         rows[slot] = row
         self.live_rows += 1
+        self.insert_count += 1
         transaction = self._transaction()
         if transaction is not None:
             transaction.record_insert(self, rid)
@@ -204,6 +211,7 @@ class HeapTable:
             index.insert(rid, row)
         rows[slot] = row
         self.live_rows += 1
+        self.insert_count += 1
         if page_no == self._page_count - 1:
             self._last_page_size = max(self._last_page_size, len(rows))
 
@@ -235,6 +243,7 @@ class HeapTable:
             index.delete(rid, old)
         rows[slot] = None
         self.live_rows -= 1
+        self.delete_count += 1
 
     def scan(self):
         """Yield ``(rid, row)`` for every live row."""

@@ -645,6 +645,9 @@ class SQLGraphServer:
             "active_sessions": active,
             "queue_depth": self._pending.qsize(),
             "draining": self._draining.is_set(),
+            # ANALYZE statistics snapshot: which tables the shared store's
+            # cost-based planner currently has estimates for
+            "optimizer_statistics": self.store.database.statistics.snapshot(),
             **counters,
         }
 
