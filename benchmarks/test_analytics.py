@@ -1,0 +1,161 @@
+"""Bulk-analytics throughput on a LinkBench-scale graph.
+
+One run per algorithm over the shared preferential-attachment generator
+(:func:`repro.datasets.random_graphs.analytics_scale_graph` — the same
+distribution the differential tests sample at toy scale).  The figure of
+merit is **edge-iterations per second**: every PageRank / components /
+label-propagation iteration joins the full edge table, so ``edges x
+iterations / elapsed`` measures how fast the relational engine turns the
+per-iteration join/aggregate crank; SSSP reports the same metric over
+its (frontier-sized) relaxation rounds.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the graph ~17x for CI-speed validation
+of the harness itself.  Writes ``benchmarks/results/BENCH_analytics.json``;
+its ``summary`` strings are quoted verbatim in ``docs/ANALYTICS.md`` and
+the reprolint docs-links rule fails when the two drift apart, so
+re-recording the benchmark means updating the handbook in the same
+commit.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR, record, scaled
+from repro.bench.reporting import format_table
+from repro.core import SQLGraphStore
+from repro.datasets.random_graphs import analytics_scale_graph
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: LinkBench-flavoured scale (paper §5: ~5k-node neighborhoods); smoke
+#: mode keeps the same shape at ~1/17 size
+N_VERTICES = 300 if SMOKE else 5000
+N_EDGES = 1500 if SMOKE else 25000
+
+#: fixed iteration counts so every recorded run does identical work
+PAGERANK_ITERATIONS = 10
+LABELPROP_ITERATIONS = 10
+
+
+def _throughput(edges, stats):
+    """Edge-iterations per second for one recorded run."""
+    iterations = max(1, stats.iteration_count)
+    return edges * iterations / max(stats.elapsed_s, 1e-9)
+
+
+def test_analytics_throughput(benchmark):
+    n_vertices = scaled(N_VERTICES)
+    n_edges = scaled(N_EDGES)
+    graph = analytics_scale_graph(n_vertices, n_edges, seed=13)
+    store = SQLGraphStore()
+    store.load_graph(graph)
+
+    runs = {}
+
+    def measure(name, fn):
+        values = fn()
+        stats = store.last_analytics_stats
+        runs[name] = {
+            "result_rows": len(values),
+            "iterations": stats.iteration_count,
+            "converged": stats.converged,
+            "statements": stats.statements_executed,
+            "elapsed_s": round(stats.elapsed_s, 4),
+            "edge_iterations_per_s": int(_throughput(n_edges, stats)),
+        }
+        return values
+
+    measure(
+        "pagerank",
+        lambda: store.pagerank(
+            tolerance=0.0, max_iterations=PAGERANK_ITERATIONS
+        ),
+    )
+    components = measure("components", store.connected_components)
+    measure(
+        "labelprop",
+        lambda: store.label_propagation(max_iterations=LABELPROP_ITERATIONS),
+    )
+    # source with global reach: a vertex of the biggest component
+    sizes = {}
+    for label in components.values():
+        sizes[label] = sizes.get(label, 0) + 1
+    source = max(sizes, key=lambda label: (sizes[label], -label))
+    distances = measure(
+        "sssp", lambda: store.shortest_paths(source, weight_key="weight")
+    )
+
+    # harness sanity on every recorded run (SSSP follows edge direction,
+    # so it reaches a subset of the source's undirected component)
+    assert runs["pagerank"]["result_rows"] == n_vertices
+    assert runs["components"]["converged"]
+    assert distances[source] == 0.0 and len(distances) <= sizes[source]
+    for entry in runs.values():
+        assert entry["edge_iterations_per_s"] > 0
+
+    payload = {
+        "graph": {
+            "vertices": n_vertices,
+            "edges": n_edges,
+            "smoke": SMOKE,
+        },
+        "algorithms": runs,
+        # quoted verbatim in docs/ANALYTICS.md; the reprolint docs-links
+        # rule keeps the handbook in sync with these strings
+        "summary": {
+            "pagerank": (
+                f"pagerank {runs['pagerank']['edge_iterations_per_s']:,} "
+                f"edge-iterations/s "
+                f"({runs['pagerank']['iterations']} iterations)"
+            ),
+            "components": (
+                f"components converged in "
+                f"{runs['components']['iterations']} iterations at "
+                f"{runs['components']['edge_iterations_per_s']:,} "
+                f"edge-iterations/s"
+            ),
+            "labelprop": (
+                f"labelprop {runs['labelprop']['edge_iterations_per_s']:,} "
+                f"edge-iterations/s "
+                f"({runs['labelprop']['iterations']} iterations)"
+            ),
+            "sssp": (
+                f"sssp reached {runs['sssp']['result_rows']:,} vertices in "
+                f"{runs['sssp']['iterations']} rounds"
+            ),
+            "graph": (
+                f"{n_vertices:,} vertices / {n_edges:,} edges "
+                "(preferential attachment)"
+            ),
+            "command": (
+                "PYTHONPATH=src python -m pytest "
+                "benchmarks/test_analytics.py -q"
+            ),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_analytics.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    record(
+        "analytics_throughput",
+        format_table(
+            ["algorithm", "iterations", "elapsed (s)", "edge-iter/s"],
+            [
+                [
+                    name,
+                    entry["iterations"],
+                    f"{entry['elapsed_s']:.2f}",
+                    f"{entry['edge_iterations_per_s']:,}",
+                ]
+                for name, entry in runs.items()
+            ],
+            title=(
+                f"Bulk analytics — {n_vertices:,} vertices / "
+                f"{n_edges:,} edges"
+            ),
+        ),
+    )
+
+    benchmark(lambda: store.connected_components(max_iterations=2))

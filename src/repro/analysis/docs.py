@@ -19,7 +19,8 @@ are caught across the repo-root and ``docs/`` markdown files:
 5. **Benchmark-number sync** — every string in the ``summary`` block of
    a committed benchmark record must appear verbatim in its handbook
    (``BENCH_vectorized.json`` ↔ ``docs/EXECUTION.md``,
-   ``BENCH_optimizer.json`` ↔ ``docs/OPTIMIZER.md``), so the handbook's
+   ``BENCH_optimizer.json`` ↔ ``docs/OPTIMIZER.md``,
+   ``BENCH_analytics.json`` ↔ ``docs/ANALYTICS.md``), so the handbook's
    measured numbers cannot drift from the committed benchmark record
    (re-recording the benchmark means updating the handbook in the same
    commit).
@@ -67,11 +68,14 @@ BENCH_VECTORIZED_JSON = "benchmarks/results/BENCH_vectorized.json"
 EXECUTION_DOC = "docs/EXECUTION.md"
 BENCH_OPTIMIZER_JSON = "benchmarks/results/BENCH_optimizer.json"
 OPTIMIZER_DOC = "docs/OPTIMIZER.md"
+BENCH_ANALYTICS_JSON = "benchmarks/results/BENCH_analytics.json"
+ANALYTICS_DOC = "docs/ANALYTICS.md"
 
 #: every committed benchmark record and the handbook that quotes it
 BENCHMARK_SYNC_PAIRS = (
     (BENCH_VECTORIZED_JSON, EXECUTION_DOC),
     (BENCH_OPTIMIZER_JSON, OPTIMIZER_DOC),
+    (BENCH_ANALYTICS_JSON, ANALYTICS_DOC),
 )
 
 

@@ -20,6 +20,11 @@ colon::
                                                (optionally one table name)
     sqlgraph> :stats                        -- table sizes, load report,
                                                last-query stats
+    sqlgraph> :pagerank                     -- bulk analytics: top PageRank
+    sqlgraph> :components                   -- weakly-connected components
+    sqlgraph> :labelprop                    -- label-propagation communities
+    sqlgraph> :sssp 1 [weight]              -- shortest paths from vertex 1
+                                               (optional weight attribute)
     sqlgraph> :checkpoint                   -- snapshot + truncate the WAL
     sqlgraph> :quit
 
@@ -33,6 +38,11 @@ translation trace and execution counters when one has run.
 table (or just the named one) and installs per-column statistics the
 cost-based planner uses for selectivity and join ordering (see
 docs/OPTIMIZER.md); ``:stats`` then lists the analyzed tables.
+
+``:pagerank``, ``:components``, ``:labelprop`` and ``:sssp`` run the bulk
+analytics drivers (iterated SQL joins/aggregates over scratch tables, see
+docs/ANALYTICS.md) over the live graph and summarize the result plus the
+per-run iteration/convergence statistics.
 
 ``--path`` opens a durable store: the first run loads the dataset and
 every later run recovers the persisted graph (including any CRUD done in
@@ -173,6 +183,55 @@ def _execute_command(store, line):
         lines.extend(_wal_lines(store))
         lines.extend(_last_query_lines(store))
         return "\n".join(lines)
+    if command == ":pagerank":
+        ranks = store.pagerank()
+        top = sorted(ranks.items(), key=lambda item: (-item[1], item[0]))
+        lines = [f"v[{vid}]  {rank:.6f}" for vid, rank in top[:10]]
+        if len(top) > 10:
+            lines.append(f"... ({len(top)} vertices total)")
+        return "\n".join(lines + _analytics_lines(store)) or "(empty graph)"
+    if command == ":components":
+        components = store.connected_components()
+        sizes = {}
+        for label in components.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        ordered = sorted(sizes.items(), key=lambda item: (-item[1], item[0]))
+        lines = [
+            f"component {label}: {size} vertices"
+            for label, size in ordered[:10]
+        ]
+        if len(ordered) > 10:
+            lines.append(f"... ({len(ordered)} components total)")
+        return "\n".join(lines + _analytics_lines(store)) or "(empty graph)"
+    if command == ":labelprop":
+        labels = store.label_propagation()
+        sizes = {}
+        for label in labels.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        ordered = sorted(sizes.items(), key=lambda item: (-item[1], item[0]))
+        lines = [
+            f"community {label}: {size} vertices"
+            for label, size in ordered[:10]
+        ]
+        if len(ordered) > 10:
+            lines.append(f"... ({len(ordered)} communities total)")
+        return "\n".join(lines + _analytics_lines(store)) or "(empty graph)"
+    if command == ":sssp":
+        parts = argument.split()
+        if not parts or not parts[0].lstrip("-").isdigit():
+            return "usage: :sssp <source vid> [weight attribute]"
+        weight_key = parts[1] if len(parts) > 1 else None
+        try:
+            distances = store.shortest_paths(
+                int(parts[0]), weight_key=weight_key
+            )
+        except EngineError as exc:
+            return f"cannot run sssp: {type(exc).__name__}: {exc}"
+        ordered = sorted(distances.items(), key=lambda item: (item[1], item[0]))
+        lines = [f"v[{vid}]  {dist:g}" for vid, dist in ordered[:10]]
+        if len(ordered) > 10:
+            lines.append(f"... ({len(ordered)} reachable vertices total)")
+        return "\n".join(lines + _analytics_lines(store))
     if command == ":checkpoint":
         if store.database.wal is None:
             return "not a durable store (start with --path)"
@@ -182,6 +241,19 @@ def _execute_command(store, line):
     if command == ":help":
         return __doc__.strip()
     return f"unknown command {command!r} (try :help)"
+
+
+def _analytics_lines(store):
+    """Render the per-run summary line after an analytics command."""
+    stats = store.last_analytics_stats
+    if stats is None:
+        return []
+    state = "converged" if stats.converged else "iteration cap hit"
+    return [
+        f"{stats.algorithm}: {stats.iteration_count} iterations ({state}), "
+        f"{stats.statements_executed} statements in "
+        f"{stats.elapsed_s * 1000:.1f}ms"
+    ]
 
 
 def _explain(store, argument, analyze):

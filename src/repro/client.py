@@ -98,6 +98,8 @@ class SQLGraphClient:
         self.client_name = client_name
         self.session_id = None
         self.reconnects = 0
+        #: stats dict of the most recent :meth:`analytics` run
+        self.last_analytics_stats = None
         self._sock = None
         self._assembler = None
         self._ids = itertools.count(1)
@@ -277,6 +279,36 @@ class SQLGraphClient:
         """One REPL line, executed server-side; returns the output text."""
         result = self._request("shell", {"line": line})
         return result["output"]
+
+    # ------------------------------------------------------------------
+    # bulk analytics (one request per full run; see docs/ANALYTICS.md)
+    # ------------------------------------------------------------------
+    def analytics(self, algorithm, **options):
+        """One full analytics run server-side; returns ``{vid: value}``.
+
+        Analytics read a frozen scratch copy of the live graph and write
+        nothing, so a dropped connection mid-run is safe to retry; the
+        per-run :class:`~repro.obs.stats.AnalyticsStats` dict lands on
+        :attr:`last_analytics_stats`.
+        """
+        result = self._request(
+            "analytics", {"algorithm": algorithm, "options": options},
+            idempotent=not self._in_transaction,
+        )
+        self.last_analytics_stats = result.get("stats")
+        return {vid: value for vid, value in result["rows"]}
+
+    def pagerank(self, **options):
+        return self.analytics("pagerank", **options)
+
+    def connected_components(self, **options):
+        return self.analytics("components", **options)
+
+    def label_propagation(self, **options):
+        return self.analytics("labelprop", **options)
+
+    def shortest_paths(self, source, **options):
+        return self.analytics("sssp", source=source, **options)
 
     # ------------------------------------------------------------------
     # transactions

@@ -26,6 +26,7 @@ from repro.core.translator import (
     parameterize_query,
     strip_parameter_markers,
 )
+from repro.graph.analytics import GraphAnalytics
 from repro.graph.blueprints import Direction, GraphInterface
 from repro.gremlin.errors import GremlinError
 from repro.gremlin.parser import parse_gremlin
@@ -128,6 +129,16 @@ class SQLGraphStore(GraphInterface):
     def last_query_stats(self, value):
         self._local.query_stats = value
 
+    @property
+    def last_analytics_stats(self):
+        """:class:`repro.obs.stats.AnalyticsStats` for this thread's most
+        recent analytics run (per-iteration rows/deltas/timings)."""
+        return getattr(self._local, "analytics_stats", None)
+
+    @last_analytics_stats.setter
+    def last_analytics_stats(self, value):
+        self._local.analytics_stats = value
+
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
@@ -157,6 +168,9 @@ class SQLGraphStore(GraphInterface):
             self._next_vertex_id = max(vertex_ids, default=0) + 1
             self._next_edge_id = max(edge_ids, default=0) + 1
         self._persist_meta()
+        # the bulk loader writes rows below the SQL layer, so the
+        # per-statement auto-ANALYZE hook never sees the load; check here
+        self.database.maybe_auto_analyze()
         return self.loader.report
 
     def create_attribute_index(self, element, key, sorted_index=False):
@@ -514,6 +528,67 @@ class SQLGraphStore(GraphInterface):
 
     def storage_bytes(self):
         return self.database.storage_bytes()
+
+    # ------------------------------------------------------------------
+    # bulk analytics (one logical round trip per run; see
+    # repro.graph.analytics and docs/ANALYTICS.md)
+    # ------------------------------------------------------------------
+    def _analytics(self):
+        self._charge_round_trip()
+        return GraphAnalytics(self.database, self.schema.table_names)
+
+    def pagerank(self, damping=0.85, tolerance=1e-6, max_iterations=50,
+                 time_budget_s=None, cancel=None):
+        """PageRank over the live graph; returns ``{vid: rank}``."""
+        analytics = self._analytics()
+        try:
+            return analytics.pagerank(
+                damping=damping, tolerance=tolerance,
+                max_iterations=max_iterations,
+                time_budget_s=time_budget_s, cancel=cancel,
+            )
+        finally:
+            self.last_analytics_stats = analytics.last_stats
+
+    def connected_components(self, max_iterations=None, time_budget_s=None,
+                             cancel=None):
+        """Weakly-connected components; returns ``{vid: component_id}``
+        where the id is the smallest vid in the component."""
+        analytics = self._analytics()
+        try:
+            return analytics.connected_components(
+                max_iterations=max_iterations,
+                time_budget_s=time_budget_s, cancel=cancel,
+            )
+        finally:
+            self.last_analytics_stats = analytics.last_stats
+
+    def label_propagation(self, max_iterations=20, time_budget_s=None,
+                          cancel=None):
+        """Deterministic synchronous label propagation; returns
+        ``{vid: label}``."""
+        analytics = self._analytics()
+        try:
+            return analytics.label_propagation(
+                max_iterations=max_iterations,
+                time_budget_s=time_budget_s, cancel=cancel,
+            )
+        finally:
+            self.last_analytics_stats = analytics.last_stats
+
+    def shortest_paths(self, source, weight_key=None, max_iterations=None,
+                       time_budget_s=None, cancel=None):
+        """Single-source shortest paths (directed); returns
+        ``{vid: distance}`` for reachable vertices only."""
+        analytics = self._analytics()
+        try:
+            return analytics.shortest_paths(
+                source, weight_key=weight_key,
+                max_iterations=max_iterations,
+                time_budget_s=time_budget_s, cancel=cancel,
+            )
+        finally:
+            self.last_analytics_stats = analytics.last_stats
 
 
 class SQLVertex:

@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     TimingHistogram,
 )
 from repro.obs.stats import (
+    AnalyticsStats,
     ExecutionStats,
     OperatorStats,
     QueryStats,
@@ -39,6 +40,7 @@ from repro.obs.stats import (
 )
 
 __all__ = [
+    "AnalyticsStats",
     "Counter",
     "ENGINE_METRICS",
     "clear_session",

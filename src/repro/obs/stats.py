@@ -318,3 +318,76 @@ class QueryStats:
             "trace": self.trace.as_dict() if self.trace else None,
             "execution": self.execution.as_dict() if self.execution else None,
         }
+
+
+class AnalyticsStats:
+    """Observability record of one graph-analytics run (pagerank, ...).
+
+    Each driver iteration appends one entry to ``iterations``:
+    ``{"iteration": i, "rows": frontier/update row count,
+    "delta": convergence measure (algorithm-specific; None when the
+    algorithm uses pure row counts), "elapsed_s": wall time}``.  The
+    totals below summarize the run for the slow-query log and the
+    ``analytics`` server op.
+    """
+
+    def __init__(self, algorithm, options=None):
+        self.algorithm = algorithm
+        #: resolved driver options (damping, tolerance, max_iterations...)
+        self.options = dict(options or {})
+        self.iterations = []
+        #: every SQL statement the driver issued (setup + iterations)
+        self.statements_executed = 0
+        #: False when the run stopped at ``max_iterations`` instead of at
+        #: its convergence condition
+        self.converged = False
+        self.result_rows = 0
+        self.elapsed_s = 0.0
+        #: serving-layer attribution (``None`` outside a server session)
+        self.session_id = None
+        self.connection = None
+
+    @property
+    def iteration_count(self):
+        return len(self.iterations)
+
+    def record_iteration(self, rows, delta, elapsed_s):
+        self.iterations.append(
+            {
+                "iteration": len(self.iterations) + 1,
+                "rows": rows,
+                "delta": delta,
+                "elapsed_s": elapsed_s,
+            }
+        )
+
+    def as_dict(self):
+        return {
+            "algorithm": self.algorithm,
+            "options": dict(self.options),
+            "iterations": [dict(entry) for entry in self.iterations],
+            "iteration_count": self.iteration_count,
+            "statements_executed": self.statements_executed,
+            "converged": self.converged,
+            "result_rows": self.result_rows,
+            "elapsed_s": self.elapsed_s,
+            "session_id": self.session_id,
+            "connection": self.connection,
+        }
+
+    def describe(self):
+        state = "converged" if self.converged else "iteration-capped"
+        lines = [
+            f"{self.algorithm}: {self.result_rows} rows, "
+            f"{self.iteration_count} iterations ({state}), "
+            f"{self.statements_executed} statements in "
+            f"{self.elapsed_s * 1000:.3f}ms"
+        ]
+        for entry in self.iterations:
+            delta = entry["delta"]
+            delta_text = "-" if delta is None else f"{delta:.3g}"
+            lines.append(
+                f"  iter {entry['iteration']}: {entry['rows']} rows, "
+                f"delta {delta_text}, {entry['elapsed_s'] * 1000:.3f}ms"
+            )
+        return "\n".join(lines)

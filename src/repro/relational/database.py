@@ -29,7 +29,12 @@ from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.locks import LockManager
 from repro.relational.pages import BufferPool
 from repro.relational.planner import Planner, Runtime
-from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.schema import (
+    Column,
+    ColumnType,
+    SCRATCH_TABLE_PREFIX,
+    TableSchema,
+)
 from repro.relational.sql import ast_nodes as ast
 from repro.relational.sql.parser import parse_statement
 from repro.relational.stats import META_STATS_KEY, StatisticsRegistry
@@ -42,6 +47,34 @@ from repro.relational.table import HeapTable
 PLANNER_OPTION_SPECS = {
     "index_probe_cost": "positive number",
 }
+
+
+def _env_flag(name, default=False):
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip() not in ("", "0", "false", "off")
+
+
+def resolve_auto_analyze(flag=None):
+    """``REPRO_AUTO_ANALYZE``: re-ANALYZE drifted tables automatically
+    (off by default; see :meth:`Database.maybe_auto_analyze`)."""
+    if flag is not None:
+        return bool(flag)
+    return _env_flag("REPRO_AUTO_ANALYZE")
+
+
+def resolve_auto_analyze_drift(threshold=None):
+    """``REPRO_AUTO_ANALYZE_DRIFT``: mutation-drift fraction that triggers
+    a re-ANALYZE (default 0.5 — half the table churned since ANALYZE)."""
+    if threshold is not None:
+        return float(threshold)
+    return float(os.environ.get("REPRO_AUTO_ANALYZE_DRIFT", "0.5"))
+
+
+#: auto-ANALYZE ignores tables smaller than this when they have no
+#: statistics yet (tiny tables plan fine on the no-stats fallback)
+AUTO_ANALYZE_MIN_ROWS = 64
 
 
 def validate_planner_options(options):
@@ -284,7 +317,8 @@ class Database:
     def __init__(self, buffer_pool_pages=None, lock_timeout=None,
                  planner_options=None, plan_cache_size=None, path=None,
                  wal_fsync=None, wal_group_window_ms=None,
-                 wal_checkpoint_every=None):
+                 wal_checkpoint_every=None, auto_analyze=None,
+                 auto_analyze_drift=None):
         self.buffer_pool = BufferPool(buffer_pool_pages)
         self.catalog = Catalog(self.buffer_pool)
         self.catalog.txn_source = self.current_transaction
@@ -294,6 +328,12 @@ class Database:
         #: ANALYZE statistics (see repro.relational.stats); consulted by
         #: every planner when REPRO_COSTED is on
         self.statistics = StatisticsRegistry()
+        #: auto-ANALYZE knobs (REPRO_AUTO_ANALYZE / _DRIFT; off by default)
+        self.auto_analyze = resolve_auto_analyze(auto_analyze)
+        self.auto_analyze_drift = resolve_auto_analyze_drift(
+            auto_analyze_drift
+        )
+        self.auto_analyzed = 0  # guarded-by: _txn_guard
         self._local = threading.local()
         self.statements_executed = 0  # guarded-by: _txn_guard
         #: monotonic counter bumped by every DDL statement; prepared plans
@@ -345,6 +385,15 @@ class Database:
         payload = self.meta.get(META_STATS_KEY)
         if payload:
             self.statistics.load_meta(self, payload)
+        # Belt and braces: a crash mid-analytics can leave scratch CREATEs
+        # in the replayed log even though snapshots exclude them.  Drop any
+        # survivors — scratch state is per-run and never meaningful after
+        # recovery.  (The checkpoint below truncates the log, so the drops
+        # need no WAL records of their own.)
+        for name in list(self.catalog.table_names()):
+            if name.startswith(SCRATCH_TABLE_PREFIX):
+                with self.wal.pause():
+                    self.execute(f"DROP TABLE IF EXISTS {name}")
         # Checkpoint immediately: the recovered state becomes the snapshot
         # and the (possibly long, possibly torn) log is truncated, so txids
         # from the previous incarnation can never collide with ours.
@@ -422,6 +471,12 @@ class Database:
         ):
             wal.commit_point()
             self._maybe_auto_checkpoint()
+        if (
+            self.auto_analyze
+            and write_tables
+            and not getattr(self._local, "auto_analyzing", False)
+        ):
+            self.maybe_auto_analyze(write_tables)
         return result
 
     def _prepare(self, sql):
@@ -461,6 +516,20 @@ class Database:
         """Invalidate every compiled plan after a schema change."""
         self.schema_epoch += 1
         self.plan_cache.invalidate_all()
+
+    def _ddl_epoch(self, table_name):
+        """Bump the schema epoch unless the DDL touched a scratch table.
+
+        Scratch tables (analytics temporaries under
+        ``SCRATCH_TABLE_PREFIX``) use process-unique names and are
+        created strictly before any statement references them, so their
+        appearance or disappearance cannot poison a cached plan for any
+        other statement.  Skipping the bump keeps one pagerank run (a
+        dozen scratch CREATE/DROPs) from invalidating every compiled
+        plan and every ANALYZE statistic in the store.
+        """
+        if not table_name.lower().startswith(SCRATCH_TABLE_PREFIX):
+            self._bump_schema_epoch()
 
     def transaction(self):
         """Context manager: commit on clean exit, rollback on exception."""
@@ -699,7 +768,10 @@ class Database:
                 raise BindError(f"unknown table {statement.table!r}")
             names = [name]
         else:
-            names = sorted(self.catalog.table_names())
+            names = sorted(
+                name for name in self.catalog.table_names()
+                if not name.startswith(SCRATCH_TABLE_PREFIX)
+            )
         rows = []
         for name in names:
             entry = self.statistics.analyze(
@@ -711,6 +783,52 @@ class Database:
             ["table_name", "row_count", "sample_size"], rows,
             rowcount=len(rows),
         )
+
+    def maybe_auto_analyze(self, tables=None):
+        """Re-ANALYZE tables whose statistics drifted past the threshold.
+
+        Auto-ANALYZE is off by default; it is enabled per database
+        (``auto_analyze=True``) or globally (``REPRO_AUTO_ANALYZE=1``).
+        When on, every autocommit write statement checks the tables it
+        touched: a table is re-analyzed when its recorded statistics have
+        seen ``mutation_drift`` of at least ``auto_analyze_drift``
+        (``REPRO_AUTO_ANALYZE_DRIFT``, default 0.5) — or when it has no
+        valid statistics yet and has grown past ``AUTO_ANALYZE_MIN_ROWS``
+        live rows.  Scratch tables and statements inside an explicit
+        transaction never trigger it.  Returns the list of table names
+        analyzed.
+        """
+        if not self.auto_analyze:
+            return []
+        if getattr(self._local, "auto_analyzing", False):
+            return []
+        if self.current_transaction() is not None:
+            return []
+        names = tables if tables is not None else self.catalog.table_names()
+        analyzed = []
+        self._local.auto_analyzing = True
+        try:
+            for name in sorted(names):
+                name = name.lower()
+                if name.startswith(SCRATCH_TABLE_PREFIX):
+                    continue
+                if not self.catalog.has_table(name):
+                    continue
+                table = self.catalog.get_table(name)
+                entry = self.statistics.get(name, self.schema_epoch)
+                if entry is None:
+                    if table.live_rows < AUTO_ANALYZE_MIN_ROWS:
+                        continue
+                elif entry.mutation_drift(table) < self.auto_analyze_drift:
+                    continue
+                self.execute(f"ANALYZE {name}")
+                analyzed.append(name)
+        finally:
+            self._local.auto_analyzing = False
+        if analyzed:
+            with self._txn_guard:
+                self.auto_analyzed += len(analyzed)
+        return analyzed
 
     def _run_select(self, statement, params=None):
         if self.collect_stats:
@@ -928,7 +1046,7 @@ class Database:
         table = self.catalog.create_table(schema)
         if schema.primary_key is not None:
             self._create_pk_index(table, schema.primary_key)
-        self._bump_schema_epoch()
+        self._ddl_epoch(schema.name)
         self._log_ddl()
         return ResultSet()
 
@@ -981,7 +1099,7 @@ class Database:
         # remember the statement so checkpoint snapshots can rebuild the
         # index (its key function is a compiled closure, never serialized)
         index.ddl = getattr(self._local, "sql", None)
-        self._bump_schema_epoch()
+        self._ddl_epoch(table.name)
         self._log_ddl()
         return ResultSet()
 
@@ -991,6 +1109,6 @@ class Database:
             raise BindError(f"unknown table {statement.name!r}")
         if dropped:
             self.statistics.forget(statement.name.lower())
-            self._bump_schema_epoch()
+            self._ddl_epoch(statement.name)
             self._log_ddl()
         return ResultSet()

@@ -45,6 +45,11 @@ import json
 import struct
 import zlib
 
+from repro.graph.analytics import (
+    AnalyticsCancelledError,
+    AnalyticsError,
+    AnalyticsTimeoutError,
+)
 from repro.gremlin.errors import (
     ClosureError,
     GremlinError,
@@ -106,6 +111,9 @@ RETRYABLE_CODES = frozenset(
 #: engine exception type -> wire error code (order matters: subclasses
 #: before base classes)
 _EXCEPTION_CODES = (
+    (AnalyticsTimeoutError, STATEMENT_TIMEOUT),
+    (AnalyticsCancelledError, SHUTTING_DOWN),
+    (AnalyticsError, BAD_REQUEST),
     (LockTimeoutError, LOCK_TIMEOUT),
     (SqlSyntaxError, SQL_SYNTAX),
     (BindError, BIND_ERROR),

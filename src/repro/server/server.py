@@ -32,6 +32,7 @@ import socket
 import threading
 from time import monotonic, perf_counter
 
+from repro.graph.analytics import AnalyticsTimeoutError
 from repro.obs import context as obs_context
 from repro.obs.metrics import ENGINE_METRICS, TimingHistogram
 from repro.relational.database import Transaction
@@ -444,6 +445,12 @@ class SQLGraphServer:
                 self._count("statement_timeouts")
             response = self._error_response(session, request_id, code,
                                             str(exc))
+        except AnalyticsTimeoutError as exc:
+            # an analytics driver hit the session's statement budget
+            # between iterations (cooperative, not a lock wait)
+            self._count("statement_timeouts")
+            response = self._error_response(session, request_id,
+                                            STATEMENT_TIMEOUT, str(exc))
         except Exception as exc:  # reprolint: disable=broad-except -- wire boundary: every failure maps to a typed error frame, never a dropped connection
             response = self._error_response(
                 session, request_id, code_for_exception(exc),
@@ -575,8 +582,65 @@ class SQLGraphServer:
             output = "\n".join([output] + self._stats_lines(session))
         return {"output": output}
 
+    #: analytics algorithm -> (store method, accepted request options)
+    _ANALYTICS = {
+        "pagerank": ("pagerank", ("damping", "tolerance", "max_iterations")),
+        "components": ("connected_components", ("max_iterations",)),
+        "labelprop": ("label_propagation", ("max_iterations",)),
+        "sssp": (
+            "shortest_paths", ("source", "weight_key", "max_iterations")
+        ),
+    }
+
+    def _op_analytics(self, session, message):
+        """One full analytics run in one round trip.
+
+        The session's statement timeout becomes the run's cooperative
+        ``time_budget_s`` (checked between statements), and a draining
+        server cancels the loop via the ``cancel`` callback — so a bulk
+        run can never outlive the drain window or hold its budget
+        hostage to a long iteration sequence.
+        """
+        algorithm = _required(message, "algorithm")
+        if algorithm not in self._ANALYTICS:
+            known = ", ".join(sorted(self._ANALYTICS))
+            raise _BadRequest(
+                f"unknown analytics algorithm {algorithm!r} "
+                f"(known: {known})"
+            )
+        method, allowed = self._ANALYTICS[algorithm]
+        options = message.get("options") or {}
+        if not isinstance(options, dict):
+            raise _BadRequest("analytics 'options' must be an object")
+        unknown = sorted(set(options) - set(allowed))
+        if unknown:
+            raise _BadRequest(
+                f"unknown {algorithm} options: {', '.join(unknown)} "
+                f"(accepted: {', '.join(allowed)})"
+            )
+        if algorithm == "sssp":
+            if not isinstance(options.get("source"), int):
+                raise _BadRequest(
+                    "sssp requires an integer options.source vertex id"
+                )
+        runner = getattr(self.store, method)
+        with self._statement_budget(session):
+            values = runner(
+                time_budget_s=session.statement_timeout_s,
+                cancel=self._draining.is_set,
+                **options,
+            )
+        stats = self.store.last_analytics_stats
+        return {
+            "algorithm": algorithm,
+            # wire rows, not a dict: JSON objects can't carry int keys
+            "rows": [[vid, value] for vid, value in sorted(values.items())],
+            "stats": stats.as_dict() if stats is not None else None,
+        }
+
     _HANDLERS = {
         "ping": _op_ping,
+        "analytics": _op_analytics,
         "gremlin": _op_gremlin,
         "run": _op_run,
         "sql": _op_sql,

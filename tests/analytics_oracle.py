@@ -1,0 +1,139 @@
+"""Zero-dependency pure-python oracles for the analytics drivers.
+
+Each oracle consumes the *property graph* the store was loaded from (not
+the store itself), so an engine bug cannot leak into the expected
+values.  Semantics mirror the documented contracts of
+:mod:`repro.graph.analytics`:
+
+* integer-valued algorithms (components, label propagation) match the
+  SQL results *exactly*, including tie-breaks;
+* :func:`oracle_pagerank` mirrors the driver's update formula so a run
+  with ``tolerance=0.0`` and a fixed iteration count agrees to float
+  re-association error (~1e-12 per term);
+* :func:`oracle_sssp` is deliberately a *different algorithm* (Dijkstra
+  with a heap) than the driver's frontier Bellman-Ford — agreement is a
+  much stronger check than a structural mirror.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+def graph_arrays(graph, weight_key=None):
+    """Extract ``(vertex_ids, edge_triples)`` from a property graph.
+
+    Edges are ``(src, dst, weight)`` with the same default-1.0 /
+    attribute-lookup rule as ``GraphAnalytics._extract``.
+    """
+    vertices = sorted(vertex.id for vertex in graph.vertices())
+    edges = []
+    for edge in graph.edges():
+        if weight_key is None:
+            weight = 1.0
+        else:
+            weight = edge.get_property(weight_key)
+            weight = 1.0 if weight is None else float(weight)
+        edges.append((edge.out_vertex.id, edge.in_vertex.id, weight))
+    return vertices, edges
+
+
+def oracle_pagerank(graph, damping=0.85, tolerance=1e-6, max_iterations=50):
+    """Power iteration mirroring the SQL driver's update formula."""
+    vertices, edges = graph_arrays(graph)
+    n = len(vertices)
+    if not n:
+        return {}
+    out_degree = {}
+    for src, __dst, __w in edges:
+        out_degree[src] = out_degree.get(src, 0) + 1
+    rank = {vid: 1.0 / n for vid in vertices}
+    base = (1.0 - damping) / n
+    for __ in range(max_iterations):
+        contrib = {}
+        for src, dst, __w in edges:
+            contrib[dst] = contrib.get(dst, 0.0) + rank[src] / out_degree[src]
+        dangling = sum(
+            value for vid, value in rank.items() if vid not in out_degree
+        )
+        nxt = {
+            vid: base + damping * (contrib.get(vid, 0.0) + dangling / n)
+            for vid in vertices
+        }
+        delta = sum(abs(nxt[vid] - rank[vid]) for vid in vertices)
+        rank = nxt
+        if delta <= tolerance:
+            break
+    return rank
+
+
+def oracle_components(graph):
+    """Undirected reachability; component id = smallest member vid."""
+    vertices, edges = graph_arrays(graph)
+    neighbours = {vid: [] for vid in vertices}
+    for src, dst, __w in edges:
+        neighbours[src].append(dst)
+        neighbours[dst].append(src)
+    labels = {}
+    for start in vertices:  # ascending, so the label is the min vid
+        if start in labels:
+            continue
+        frontier = [start]
+        labels[start] = start
+        while frontier:
+            vid = frontier.pop()
+            for nxt in neighbours[vid]:
+                if nxt not in labels:
+                    labels[nxt] = start
+                    frontier.append(nxt)
+    return labels
+
+
+def oracle_label_propagation(graph, max_iterations=20):
+    """Synchronous label propagation with the driver's exact vote rule.
+
+    Votes per round: every vertex for its own label, plus one per edge
+    endpoint in each direction.  New label = most voted, smallest label
+    on ties.  All-integer, so results must equal the SQL exactly.
+    """
+    vertices, edges = graph_arrays(graph)
+    labels = {vid: vid for vid in vertices}
+    for __ in range(max_iterations):
+        votes = {vid: {labels[vid]: 1} for vid in vertices}
+        for src, dst, __w in edges:
+            votes[dst][labels[src]] = votes[dst].get(labels[src], 0) + 1
+            votes[src][labels[dst]] = votes[src].get(labels[dst], 0) + 1
+        nxt = {}
+        for vid, counts in votes.items():
+            best = max(counts.values())
+            nxt[vid] = min(
+                label for label, count in counts.items() if count == best
+            )
+        if nxt == labels:
+            break
+        labels = nxt
+    return labels
+
+
+def oracle_sssp(graph, source, weight_key=None):
+    """Dijkstra (binary heap) over directed weighted edges.
+
+    Returns distances for reachable vertices only, like the driver.
+    """
+    vertices, edges = graph_arrays(graph, weight_key)
+    if source not in set(vertices):
+        raise ValueError(f"unknown source vertex {source!r}")
+    outgoing = {}
+    for src, dst, weight in edges:
+        outgoing.setdefault(src, []).append((dst, weight))
+    distances = {}
+    heap = [(0.0, source)]
+    while heap:
+        dist, vid = heapq.heappop(heap)
+        if vid in distances:
+            continue
+        distances[vid] = dist
+        for nxt, weight in outgoing.get(vid, ()):
+            if nxt not in distances:
+                heapq.heappush(heap, (dist + weight, nxt))
+    return distances

@@ -1,0 +1,154 @@
+"""Durability contract of analytics runs: scratch state never survives.
+
+The drivers run under ``wal.pause()`` and scratch tables are excluded
+from checkpoint snapshots, so the invariants are:
+
+* an analytics run appends **zero bytes** to the WAL — the log is
+  byte-identical before and after;
+* a crash at any point around a run recovers the base tables exactly
+  (differential against :func:`tests.crashkit.database_state`) with no
+  orphaned frontier/temp tables;
+* even scratch DDL that *was* logged (a scratch table created outside a
+  run, WAL active) or snapshotted around is dropped on reopen — the
+  belt-and-braces sweep in ``Database._open_durable``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SQLGraphStore
+from repro.datasets.random_graphs import random_property_graph
+from repro.relational.database import Database
+from tests.crashkit import (
+    assert_states_equal,
+    crash_copy,
+    database_state,
+    record_boundaries,
+)
+
+
+def _durable_store(path):
+    store = SQLGraphStore(path=str(path))
+    if store.schema is None:
+        store.load_graph(random_property_graph(seed=21, n_vertices=25,
+                                               n_edges=50))
+    return store
+
+
+def _wal_bytes(store):
+    wal = store.database.wal
+    wal.flush()
+    with open(wal.path, "rb") as fh:
+        return fh.read()
+
+
+def _scratch_tables(database):
+    return [name for name in database.catalog.table_names()
+            if name.startswith("scratch_")]
+
+
+def test_analytics_append_zero_wal_bytes(tmp_path):
+    store = _durable_store(tmp_path / "db")
+    # CRUD traffic so the log is non-trivial before the runs
+    vid = store.add_vertex(properties={"name": "extra"})
+    store.add_edge(vid, 1, "knows")
+    before = _wal_bytes(store)
+    store.pagerank(max_iterations=5)
+    store.connected_components()
+    store.shortest_paths(1)
+    assert _wal_bytes(store) == before  # byte-identical, not just same size
+    assert _scratch_tables(store.database) == []
+    store.close()
+
+
+def test_crash_after_analytics_recovers_base_tables_identically(tmp_path):
+    source = tmp_path / "db"
+    store = _durable_store(source)
+    store.add_vertex(properties={"name": "crud"})
+    store.remove_vertex(2)
+    store.connected_components()
+    store.label_propagation(max_iterations=4)
+    expected = database_state(store.database)
+    store.database.wal.flush()
+    crashed = crash_copy(str(source), str(tmp_path / "crashed"))
+    recovered = SQLGraphStore(path=crashed)
+    assert _scratch_tables(recovered.database) == []
+    assert_states_equal(
+        database_state(recovered.database), expected, "post-analytics crash"
+    )
+    # the recovered store still runs analytics (schema + WAL intact)
+    after = recovered.connected_components()
+    assert after == store.connected_components()
+    recovered.close()
+    store.close()
+
+
+def test_crash_at_every_boundary_leaves_no_scratch(tmp_path):
+    source = tmp_path / "db"
+    store = _durable_store(source)
+    for i in range(4):
+        vid = store.add_vertex(properties={"n": i})
+        store.add_edge(vid, 1, "burst")
+        store.pagerank(max_iterations=2)  # interleave runs with CRUD
+    store.database.wal.flush()
+    boundaries = record_boundaries(store.database.wal.path)
+    store.close()
+    # cut at a handful of commit boundaries, including the torn middle
+    cuts = boundaries[:: max(1, len(boundaries) // 4)] + [
+        boundaries[-1] - 3  # mid-record: torn tail dropped
+    ]
+    for i, cut in enumerate(cuts):
+        crashed = crash_copy(str(source), str(tmp_path / f"cut{i}"),
+                             cut_offset=cut)
+        recovered = Database(path=crashed)
+        assert _scratch_tables(recovered) == []
+        recovered.close()
+
+
+def test_logged_scratch_ddl_is_dropped_on_reopen(tmp_path):
+    source = tmp_path / "db"
+    store = _durable_store(source)
+    # a scratch table created OUTSIDE a run is logged (WAL active) and
+    # replayed at recovery; the post-recovery sweep must still drop it
+    store.database.execute("CREATE TABLE scratch_stale (k INTEGER)")
+    store.database.execute("INSERT INTO scratch_stale VALUES (1)")
+    store.database.wal.flush()
+    crashed = crash_copy(str(source), str(tmp_path / "crashed"))
+    recovered = SQLGraphStore(path=crashed)
+    assert _scratch_tables(recovered.database) == []
+    recovered.close()
+    store.close()
+
+
+def test_checkpoint_snapshot_excludes_scratch_tables(tmp_path):
+    source = tmp_path / "db"
+    store = _durable_store(source)
+    store.database.execute("CREATE TABLE scratch_live (k INTEGER)")
+    store.database.execute("INSERT INTO scratch_live VALUES (7)")
+    expected = {
+        name: state
+        for name, state in database_state(store.database).items()
+        if not name.startswith("scratch_")
+    }
+    assert store.database.checkpoint()
+    store.close()
+    recovered = SQLGraphStore(path=str(source))
+    assert _scratch_tables(recovered.database) == []
+    assert_states_equal(
+        database_state(recovered.database), expected, "checkpoint+scratch"
+    )
+    recovered.close()
+
+
+def test_failed_run_leaves_durable_store_clean(tmp_path):
+    store = _durable_store(tmp_path / "db")
+    before = _wal_bytes(store)
+    with pytest.raises(Exception):
+        store.shortest_paths(10**9)  # unknown source aborts mid-setup
+    assert _scratch_tables(store.database) == []
+    assert _wal_bytes(store) == before
+    # WAL logging resumed after the aborted run's pause
+    store.add_vertex(properties={"name": "after"})
+    assert len(_wal_bytes(store)) > len(before)
+    store.close()

@@ -1,0 +1,140 @@
+"""Auto-ANALYZE: drift-triggered statistics refresh (off by default).
+
+Knobs under test (see docs/OPTIMIZER.md):
+
+* ``REPRO_AUTO_ANALYZE`` / ``Database(auto_analyze=...)`` — master
+  switch, default off;
+* ``REPRO_AUTO_ANALYZE_DRIFT`` / ``auto_analyze_drift`` — the
+  ``mutation_drift`` fraction past which statistics are re-collected
+  (default 0.5);
+* ``AUTO_ANALYZE_MIN_ROWS`` — tables with no statistics yet are only
+  picked up once they grow past this floor.
+"""
+
+from repro.relational.database import (
+    AUTO_ANALYZE_MIN_ROWS,
+    Database,
+    resolve_auto_analyze,
+    resolve_auto_analyze_drift,
+)
+
+
+def _kv_database(**kwargs):
+    database = Database(**kwargs)
+    database.execute("CREATE TABLE kv (k INTEGER PRIMARY KEY, v STRING)")
+    return database
+
+
+def _fill(database, start, count):
+    for k in range(start, start + count):
+        database.execute(f"INSERT INTO kv VALUES ({k}, 'v{k}')")
+
+
+def test_off_by_default():
+    database = _kv_database()
+    assert database.auto_analyze is False
+    _fill(database, 0, AUTO_ANALYZE_MIN_ROWS + 10)
+    assert database.statistics.get("kv") is None
+    assert database.auto_analyzed == 0
+
+
+def test_env_knobs(monkeypatch):
+    monkeypatch.delenv("REPRO_AUTO_ANALYZE", raising=False)
+    assert resolve_auto_analyze() is False
+    monkeypatch.setenv("REPRO_AUTO_ANALYZE", "1")
+    assert resolve_auto_analyze() is True
+    assert Database().auto_analyze is True
+    monkeypatch.setenv("REPRO_AUTO_ANALYZE", "0")
+    assert resolve_auto_analyze() is False
+    assert resolve_auto_analyze(True) is True  # explicit flag wins
+    monkeypatch.setenv("REPRO_AUTO_ANALYZE_DRIFT", "0.25")
+    assert resolve_auto_analyze_drift() == 0.25
+    assert resolve_auto_analyze_drift(0.75) == 0.75
+
+
+def test_unanalyzed_table_waits_for_min_rows():
+    database = _kv_database(auto_analyze=True)
+    _fill(database, 0, AUTO_ANALYZE_MIN_ROWS - 1)
+    assert database.statistics.get("kv") is None  # below the floor
+    _fill(database, AUTO_ANALYZE_MIN_ROWS - 1, 1)  # crosses it
+    entry = database.statistics.get("kv", database.schema_epoch)
+    assert entry is not None
+    assert entry.row_count == AUTO_ANALYZE_MIN_ROWS
+    assert database.auto_analyzed == 1
+
+
+def test_drift_triggers_reanalysis():
+    database = _kv_database(auto_analyze_drift=0.5)
+    _fill(database, 0, 100)  # auto off: load quietly, then baseline
+    database.execute("ANALYZE kv")
+    first = database.statistics.get("kv", database.schema_epoch)
+    assert first.row_count == 100
+    database.auto_analyze = True
+    # 30% churn: under the 0.5 threshold, statistics stay put
+    _fill(database, 100, 30)
+    assert database.statistics.get(
+        "kv", database.schema_epoch
+    ).row_count == 100
+    assert database.auto_analyzed == 0
+    # the statement crossing 50% churn refreshes (50 inserts vs 100 rows)
+    _fill(database, 130, 20)
+    refreshed = database.statistics.get("kv", database.schema_epoch)
+    assert refreshed.row_count == 150
+    assert database.auto_analyzed == 1
+    # the refresh resets the drift watermark: one more row, no churn
+    _fill(database, 150, 1)
+    assert database.statistics.get(
+        "kv", database.schema_epoch
+    ).row_count == 150
+
+
+def test_deletes_count_toward_drift():
+    database = _kv_database(auto_analyze_drift=0.4)
+    _fill(database, 0, 100)
+    database.execute("ANALYZE kv")
+    database.auto_analyze = True
+    for k in range(39):
+        database.execute(f"DELETE FROM kv WHERE k = {k}")
+    assert database.statistics.get("kv").row_count == 100  # 39% < 40%
+    database.execute("DELETE FROM kv WHERE k = 39")  # crosses 40%
+    assert database.statistics.get("kv").row_count == 60
+    assert database.auto_analyzed == 1
+
+
+def test_scratch_tables_are_never_analyzed():
+    database = Database(auto_analyze=True)
+    database.execute("CREATE TABLE scratch_tmp (k INTEGER)")
+    for k in range(AUTO_ANALYZE_MIN_ROWS * 2):
+        database.execute(f"INSERT INTO scratch_tmp VALUES ({k})")
+    assert database.statistics.get("scratch_tmp") is None
+    assert database.auto_analyzed == 0
+    # a full-database ANALYZE skips them as well
+    database.execute("ANALYZE")
+    assert database.statistics.get("scratch_tmp") is None
+
+
+def test_no_trigger_inside_explicit_transactions():
+    database = _kv_database(auto_analyze=True)
+    with database.transaction():
+        _fill(database, 0, AUTO_ANALYZE_MIN_ROWS * 2)
+        assert database.auto_analyzed == 0  # never mid-transaction
+    assert database.maybe_auto_analyze(["kv"]) == ["kv"]  # explicit sweep
+
+
+def test_maybe_auto_analyze_returns_analyzed_names():
+    database = _kv_database(auto_analyze=True, auto_analyze_drift=10.0)
+    _fill(database, 0, 100)
+    # the min-rows bootstrap analyzed once; a 10x drift threshold then
+    # suppresses every organic refresh
+    bootstrap = database.statistics.get("kv", database.schema_epoch)
+    assert bootstrap.row_count == AUTO_ANALYZE_MIN_ROWS
+    assert database.auto_analyzed == 1
+    database.auto_analyze = False
+    assert database.maybe_auto_analyze() == []  # disabled -> no-op
+    database.auto_analyze = True
+    assert database.maybe_auto_analyze(["kv", "missing"]) == []  # no drift
+    database.auto_analyze_drift = 0.1
+    assert database.maybe_auto_analyze(["kv", "missing"]) == ["kv"]
+    assert database.statistics.get(
+        "kv", database.schema_epoch
+    ).row_count == 100
