@@ -1,0 +1,255 @@
+"""Committed-write scaling across hash-partitioned shard processes.
+
+The scatter-gather serving tier exists to scale *writes*: every shard
+process owns an independent hash-partition with its own WAL, so the
+commit serialization point — one log file whose flushes a device
+acknowledges one at a time — multiplies with the shard count.  This
+benchmark measures exactly that: a fixed pool of writer clients issues
+explicit-id ``add_vertex`` autocommits through the sharded router (the
+ids hash-spread across the cluster) and the figure of merit is
+acknowledged, durable writes per second at 1, 2, and 4 shards.
+
+CI boxes hide the effect twice over: one core means shard CPU cannot
+run in parallel, and the scratch filesystem acknowledges ``fsync`` in
+~0.1ms.  As with the ``ClientServerLink`` round-trip sleeps used by the
+client/server suites (EXPERIMENTS.md "Simulation parameters"), the
+commit path is therefore measured under a modeled log device:
+``REPRO_WAL_FSYNC=always`` with ``REPRO_WAL_FSYNC_LATENCY_MS`` adding a
+per-fsync device wait.  The sleep holds the WAL lock (a real device
+serializes flushes of one log the same way) but releases the GIL, so
+what the benchmark observes is the genuine architectural effect: N
+shard processes flush N logs concurrently.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the write batches ~8x for CI-speed
+validation of the harness.  Writes ``benchmarks/results/
+BENCH_sharding.json``; its ``summary`` strings are quoted verbatim in
+``docs/SHARDING.md`` and the reprolint docs-links rule fails when the
+two drift apart.
+
+Acceptance: 4 shards must deliver >= 2.5x the committed-write
+throughput of a single shard on the same workload.
+"""
+
+import json
+import os
+import threading
+from time import perf_counter
+
+from benchmarks.conftest import RESULTS_DIR, record
+from repro.bench.reporting import format_table
+from repro.sharding import ShardedStore
+from repro.sharding.manager import ShardManager
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: shard counts under test (the paper-style scaling sweep)
+SHARD_COUNTS = (1, 2, 4)
+#: fixed writer-client pool — identical offered load at every width
+WRITERS = 16
+#: committed writes per configuration
+TOTAL_WRITES = 96 if SMOKE else 600
+#: best-of over repeats: the single-shard run is fsync-dominated and
+#: stable, while the wider configurations are CPU-sensitive, so a
+#: background-load hiccup on a shared CI core only ever *understates*
+#: scaling — the fastest sample is the one that measured the
+#: architecture rather than the interference (all samples are recorded)
+REPEATS = 1 if SMOKE else 3
+#: modeled log-device latency per fsync (ms); a rotational-disk flush,
+#: matching the hardware class of the paper's experiments (see module
+#: docstring for why CI filesystems need the model at all)
+FSYNC_LATENCY_MS = 15.0
+#: the dataset partitioned across the cluster before the write batch
+DATASET_VERTICES = 4
+
+WORKER_ENV = {
+    "REPRO_WAL_FSYNC": "always",
+    "REPRO_WAL_FSYNC_LATENCY_MS": str(FSYNC_LATENCY_MS),
+    "REPRO_WAL_CHECKPOINT_EVERY": "0",
+}
+
+#: explicit vertex ids start far above the dataset's so the batch never
+#: collides with loaded vertices at any shard count
+VID_BASE = 100_000
+
+
+def _write_batch(addresses, total_writes):
+    """Drive *total_writes* explicit-id autocommits from WRITERS threads.
+
+    Every thread owns its own router connection (own sockets) and an
+    interleaved id range, so the request stream stays balanced across
+    shards by the hash alone — no coordinator id-allocation in the
+    measured path.  Returns elapsed wall-clock seconds; a write only
+    counts when ``add_vertex`` returned, i.e. the owning shard
+    acknowledged the commit point.
+    """
+    stores = [ShardedStore.connect(addresses) for __ in range(WRITERS)]
+    start_gate = threading.Event()
+    failures = []
+
+    def writer(seat):
+        store = stores[seat]
+        start_gate.wait()
+        try:
+            for vid in range(VID_BASE + seat, VID_BASE + total_writes,
+                             WRITERS):
+                store.add_vertex(
+                    vertex_id=vid, properties={"seat": seat, "vid": vid}
+                )
+        except Exception as exc:  # surfaced after join
+            failures.append((seat, exc))
+
+    threads = [
+        threading.Thread(target=writer, args=(seat,))
+        for seat in range(WRITERS)
+    ]
+    for thread in threads:
+        thread.start()
+    start = perf_counter()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - start
+    for store in stores:
+        store.close()
+    assert not failures, f"writer failures: {failures[:3]}"
+    return elapsed
+
+
+def _measure_once(num_shards, cluster_dir, total_writes):
+    manager = ShardManager(
+        num_shards, cluster_dir, dataset="tinker",
+        env=WORKER_ENV, supervise=False,
+        # every writer client holds a session open on every shard, plus
+        # the post-batch verification connection
+        workers_per_shard=WRITERS + 4,
+    ).start()
+    try:
+        elapsed = _write_batch(manager.addresses(), total_writes)
+        check = ShardedStore.connect(manager.addresses())
+        try:
+            committed = check.vertex_count() - DATASET_VERTICES
+            per_shard = [
+                check.router.call(
+                    index,
+                    lambda c: c.sql(
+                        "SELECT COUNT(*) FROM va WHERE vid >= 0"
+                    ).scalar(),
+                )
+                for index in range(num_shards)
+            ]
+        finally:
+            check.close()
+    finally:
+        manager.stop()
+    assert committed == total_writes, (
+        f"{num_shards} shards: {committed} committed != "
+        f"{total_writes} acknowledged"
+    )
+    return elapsed, per_shard
+
+
+def _measure(num_shards, tmp_path, total_writes):
+    samples = []
+    for attempt in range(REPEATS):
+        elapsed, per_shard = _measure_once(
+            num_shards, tmp_path / f"cluster-{num_shards}-{attempt}",
+            total_writes,
+        )
+        samples.append(elapsed)
+    elapsed = min(samples)
+    return {
+        "shards": num_shards,
+        "writers": WRITERS,
+        "writes": total_writes,
+        "elapsed_s": round(elapsed, 4),
+        "elapsed_samples_s": [round(sample, 4) for sample in samples],
+        "writes_per_s": int(total_writes / elapsed),
+        "vertices_per_shard": per_shard,
+    }
+
+
+def test_sharded_write_scaling(benchmark, tmp_path):
+    runs = [
+        _measure(num_shards, tmp_path, TOTAL_WRITES)
+        for num_shards in SHARD_COUNTS
+    ]
+    by_shards = {entry["shards"]: entry for entry in runs}
+    scaling = (
+        by_shards[4]["writes_per_s"] / by_shards[1]["writes_per_s"]
+    )
+
+    payload = {
+        "workload": {
+            "writers": WRITERS,
+            "writes_per_config": TOTAL_WRITES,
+            "repeats": REPEATS,
+            "fsync_mode": WORKER_ENV["REPRO_WAL_FSYNC"],
+            "fsync_latency_ms": FSYNC_LATENCY_MS,
+            "smoke": SMOKE,
+        },
+        "runs": runs,
+        "scaling_4x_over_1x": round(scaling, 3),
+        # quoted verbatim in docs/SHARDING.md; the reprolint docs-links
+        # rule keeps the handbook in sync with these strings
+        "summary": {
+            "single": (
+                f"1 shard commits {by_shards[1]['writes_per_s']:,} "
+                "writes/s (one WAL serializes every commit)"
+            ),
+            "quad": (
+                f"4 shards commit {by_shards[4]['writes_per_s']:,} "
+                f"writes/s — {scaling:.1f}x the single shard"
+            ),
+            "workload": (
+                f"{WRITERS} writer clients, {TOTAL_WRITES:,} explicit-id "
+                "autocommit vertex inserts per configuration, "
+                "fsync-per-commit with a "
+                f"{FSYNC_LATENCY_MS:g}ms modeled log device"
+            ),
+            "command": (
+                "PYTHONPATH=src python -m pytest "
+                "benchmarks/test_sharding.py -q"
+            ),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sharding.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    record(
+        "sharded_write_scaling",
+        format_table(
+            ["shards", "writes", "elapsed (s)", "writes/s", "speedup"],
+            [
+                [
+                    entry["shards"],
+                    entry["writes"],
+                    f"{entry['elapsed_s']:.2f}",
+                    f"{entry['writes_per_s']:,}",
+                    f"{entry['writes_per_s'] / by_shards[1]['writes_per_s']:.2f}x",
+                ]
+                for entry in runs
+            ],
+            title=(
+                f"Sharded committed-write scaling — {WRITERS} writers, "
+                f"fsync-per-commit ({FSYNC_LATENCY_MS:g}ms device)"
+            ),
+        ),
+    )
+
+    # acceptance: the per-shard WAL is the commit serialization point,
+    # so quadrupling the shard count must buy >= 2.5x committed-write
+    # throughput (smoke batches are too short for a stable ratio; the
+    # harness still requires scaling to be visible)
+    floor = 1.5 if SMOKE else 2.5
+    assert scaling >= floor, (
+        f"4-shard scaling {scaling:.2f}x below {floor}x"
+    )
+    # the hash really spread the batch: no shard in the 4-way run owns
+    # more than half the writes
+    assert max(by_shards[4]["vertices_per_shard"]) <= (
+        DATASET_VERTICES + TOTAL_WRITES // 2
+    )
+
+    benchmark(lambda: None)

@@ -70,12 +70,15 @@ BENCH_OPTIMIZER_JSON = "benchmarks/results/BENCH_optimizer.json"
 OPTIMIZER_DOC = "docs/OPTIMIZER.md"
 BENCH_ANALYTICS_JSON = "benchmarks/results/BENCH_analytics.json"
 ANALYTICS_DOC = "docs/ANALYTICS.md"
+BENCH_SHARDING_JSON = "benchmarks/results/BENCH_sharding.json"
+SHARDING_DOC = "docs/SHARDING.md"
 
 #: every committed benchmark record and the handbook that quotes it
 BENCHMARK_SYNC_PAIRS = (
     (BENCH_VECTORIZED_JSON, EXECUTION_DOC),
     (BENCH_OPTIMIZER_JSON, OPTIMIZER_DOC),
     (BENCH_ANALYTICS_JSON, ANALYTICS_DOC),
+    (BENCH_SHARDING_JSON, SHARDING_DOC),
 )
 
 

@@ -26,6 +26,8 @@ colon::
     sqlgraph> :sssp 1 [weight]              -- shortest paths from vertex 1
                                                (optional weight attribute)
     sqlgraph> :checkpoint                   -- snapshot + truncate the WAL
+    sqlgraph> :shards                       -- per-shard health (sharded
+                                               coordinator only)
     sqlgraph> :quit
 
 ``:explain`` and ``:analyze`` take a Gremlin query, translate it, and ask
@@ -54,6 +56,11 @@ between) from the write-ahead log; ``:checkpoint`` forces a snapshot and
 forwarded over the wire and executed server-side with identical
 semantics, ``:stats`` additionally reports the serving-layer counters,
 and ``:quit`` just closes the connection (see docs/SERVER.md).
+
+``--connect`` works against a ``repro-shard`` coordinator too: Gremlin
+scatters across the cluster transparently, ``:shards`` reports per-shard
+health, and the shard-local commands (``:sql``, analytics, ...) direct
+you to an individual worker (see docs/SHARDING.md).
 """
 
 from __future__ import annotations
@@ -89,16 +96,26 @@ def build_graph(dataset, scale=1.0):
     raise ValueError(f"unknown dataset {dataset!r}")
 
 
-def build_store(dataset, scale=1.0, path=None):
+def build_store(dataset, scale=1.0, path=None, shard_index=None,
+                shard_count=None):
     """Create a SQLGraphStore loaded with the named dataset.
 
     With *path*, the store is durable: a directory that already holds a
     recovered graph is used as-is (the dataset is only loaded on the very
     first run against that path).
+
+    With *shard_index*/*shard_count*, the store holds only its
+    hash-partition of the dataset: the vertices it owns plus the edges
+    whose source it owns (see :mod:`repro.sharding.partition`).
     """
     store = SQLGraphStore(path=path)
     if store.schema is None:
-        store.load_graph(build_graph(dataset, scale))
+        graph = build_graph(dataset, scale)
+        if shard_count is not None:
+            from repro.sharding.partition import partition_graph
+
+            graph = partition_graph(graph, shard_count)[shard_index]
+        store.load_graph(graph)
     return store
 
 
@@ -121,11 +138,23 @@ def execute_line(store, line):
     return "\n".join(lines)
 
 
+#: commands that require a local relational engine and therefore cannot
+#: run on the sharded coordinator (each worker shard still serves them)
+_SHARD_LOCAL_COMMANDS = frozenset({
+    ":translate", ":explain", ":analyze", ":sql", ":analyze-tables",
+    ":pagerank", ":components", ":labelprop", ":sssp", ":checkpoint",
+})
+
+
 def _execute_command(store, line):
     command, __, argument = line.partition(" ")
     argument = argument.strip()
     if command in (":quit", ":q", ":exit"):
         raise SystemExit(0)
+    if getattr(store, "is_sharded", False):
+        return _execute_sharded_command(store, command, argument)
+    if command == ":shards":
+        return "not a sharded store (connect to a repro-shard coordinator)"
     if command == ":translate":
         if not argument:
             return "usage: :translate <gremlin query>"
@@ -241,6 +270,70 @@ def _execute_command(store, line):
     if command == ":help":
         return __doc__.strip()
     return f"unknown command {command!r} (try :help)"
+
+
+def _execute_sharded_command(store, command, argument):
+    """Commands against the sharded coordinator's ShardedStore."""
+    if command in _SHARD_LOCAL_COMMANDS:
+        return (
+            f"{command} is shard-local; connect to an individual shard "
+            "server to run it against one partition (:shards lists them)"
+        )
+    if command == ":shards":
+        return _shards_report(store)
+    if command == ":stats":
+        vertices, edges = store.router.counts()
+        lines = [
+            f"sharded store: {store.num_shards} shards, "
+            f"{vertices} vertices / {edges} edges",
+        ]
+        lines.extend(_shards_report(store).splitlines())
+        lines.extend(_last_query_lines_sharded(store))
+        return "\n".join(lines)
+    if command == ":help":
+        return __doc__.strip()
+    return f"unknown command {command!r} (try :help)"
+
+
+def _shards_report(store):
+    """Render per-shard health for :shards / :stats."""
+    lines = []
+    for entry in store.shard_health():
+        if entry.get("ok"):
+            detail = (
+                f"up    {entry['requests']} requests, "
+                f"{entry['errors']} errors, "
+                f"{entry['active_sessions']} sessions"
+            )
+            if "restarts" in entry:
+                detail += f", {entry['restarts']} restarts"
+        else:
+            detail = f"DOWN  {entry.get('error', 'unreachable')}"
+        lines.append(
+            f"shard {entry['shard']} @ {entry['address']:<21} {detail}"
+        )
+    return "\n".join(lines)
+
+
+def _last_query_lines_sharded(store):
+    """Render the last-query section of sharded :stats."""
+    stats = store.last_query_stats
+    if stats is None or stats.sharding is None:
+        return []
+    sharding = stats.sharding
+    if sharding["mode"] == "forward":
+        route = f"forwarded whole to shard {sharding['target_shard']}"
+    else:
+        route = (
+            f"scatter-gather: {sharding['hops']} hops, "
+            f"{sharding['requests']} shard round-trips"
+        )
+    return [
+        "",
+        f"last query: {stats.gremlin}",
+        f"  {stats.rows_returned} rows in {stats.elapsed_s * 1000:.3f}ms",
+        f"  routing: {route}",
+    ]
 
 
 def _analytics_lines(store):

@@ -47,6 +47,47 @@ from repro.server.protocol import (
 
 CLIENT_NAME = "repro-client/1.0"
 
+#: ops safe to re-send regardless of session state (no data access, or
+#: access to server metadata only)
+ALWAYS_IDEMPOTENT_OPS = frozenset({"ping", "stats"})
+
+#: read-only ops: safe to re-send unless the session had an open
+#: transaction (the transaction died with the old connection, so a
+#: retried read would silently run outside it).  ``analytics`` belongs
+#: here — a run reads a frozen scratch copy of the graph and writes
+#: nothing, so a reconnect-and-retry returns the same answer.
+READ_ONLY_OPS = frozenset({"gremlin", "run", "analytics", "hop", "fetch"})
+
+#: ``crud`` sub-actions that only read (everything else mutates and must
+#: never be auto-retried: a dropped connection mid-write leaves the
+#: commit state unknown)
+CRUD_READ_ACTIONS = frozenset({"get_vertex", "get_edge"})
+
+#: ``sql`` statements retryable by leading keyword
+SQL_READ_PREFIXES = ("select", "explain")
+
+
+def classify_idempotent(op, payload=None, in_transaction=False):
+    """Is one request provably safe to re-send after a failure?
+
+    The single source of truth for the client's retry loop: pure reads
+    outside a transaction are idempotent, every mutation and all
+    transaction control is not.
+    """
+    if op in ALWAYS_IDEMPOTENT_OPS:
+        return True
+    if in_transaction:
+        return False
+    if op in READ_ONLY_OPS:
+        return True
+    payload = payload or {}
+    if op == "sql":
+        query = payload.get("query", "")
+        return query.lstrip().lower().startswith(SQL_READ_PREFIXES)
+    if op == "crud":
+        return payload.get("action") in CRUD_READ_ACTIONS
+    return False
+
 
 class ClientError(Exception):
     """Client-side failure (connect, handshake, response mismatch)."""
@@ -183,12 +224,18 @@ class SQLGraphClient:
     # ------------------------------------------------------------------
     # request plumbing
     # ------------------------------------------------------------------
-    def _request(self, op, payload=None, idempotent=False):
+    def _request(self, op, payload=None, idempotent=None):
         """Send one request, wait for its response, unwrap the result.
 
         *idempotent* requests are retried across reconnects and
-        retryable rejections; everything else fails fast.
+        retryable rejections; everything else fails fast.  When left as
+        ``None`` the flag comes from :func:`classify_idempotent` — the
+        declarative retryable-op table at the top of this module.
         """
+        if idempotent is None:
+            idempotent = classify_idempotent(
+                op, payload, in_transaction=self._in_transaction
+            )
         attempts = 1 + (self.retries if idempotent else 0)
         last_error = None
         for attempt in range(attempts):
@@ -201,6 +248,7 @@ class SQLGraphClient:
                 last_error = ClientError(f"connection lost: {exc}")
                 if not idempotent:
                     raise last_error from None
+                self.reconnects += 1
             except WireError as exc:
                 if not (idempotent and exc.retryable):
                     raise
@@ -241,24 +289,18 @@ class SQLGraphClient:
     # query surface (mirrors SQLGraphStore)
     # ------------------------------------------------------------------
     def ping(self):
-        return self._request("ping", idempotent=True)
+        return self._request("ping")
 
     def query(self, gremlin_text):
         """Run a Gremlin query; returns a :class:`ResultSet`."""
-        result = self._request(
-            "gremlin", {"query": gremlin_text},
-            idempotent=not self._in_transaction,
-        )
+        result = self._request("gremlin", {"query": gremlin_text})
         return ResultSet(
             result["columns"], result["rows"], stats=result.get("stats")
         )
 
     def run(self, gremlin_text):
         """Run a Gremlin query; returns the list of result values."""
-        result = self._request(
-            "run", {"query": gremlin_text},
-            idempotent=not self._in_transaction,
-        )
+        result = self._request("run", {"query": gremlin_text})
         return result["values"]
 
     def sql(self, sql_text, params=None):
@@ -266,11 +308,7 @@ class SQLGraphClient:
         payload = {"query": sql_text}
         if params is not None:
             payload["params"] = list(params)
-        idempotent = (
-            not self._in_transaction
-            and sql_text.lstrip().lower().startswith(("select", "explain"))
-        )
-        result = self._request("sql", payload, idempotent=idempotent)
+        result = self._request("sql", payload)
         return ResultSet(
             result["columns"], result["rows"], result.get("rowcount", 0)
         )
@@ -292,8 +330,7 @@ class SQLGraphClient:
         :attr:`last_analytics_stats`.
         """
         result = self._request(
-            "analytics", {"algorithm": algorithm, "options": options},
-            idempotent=not self._in_transaction,
+            "analytics", {"algorithm": algorithm, "options": options}
         )
         self.last_analytics_stats = result.get("stats")
         return {vid: value for vid, value in result["rows"]}
@@ -363,4 +400,38 @@ class SQLGraphClient:
 
     def stats(self):
         """Server + session + last-query statistics."""
-        return self._request("stats", idempotent=True)
+        return self._request("stats")
+
+    # ------------------------------------------------------------------
+    # sharding transport (batched primitives; see repro.sharding.router)
+    # ------------------------------------------------------------------
+    def hop(self, direction, vids, labels=()):
+        """Live EA rows reachable from *vids* in *direction* (read-only)."""
+        result = self._request("hop", {
+            "direction": direction,
+            "vids": list(vids),
+            "labels": list(labels),
+        })
+        return result["rows"]
+
+    def fetch(self, vids=None, eids=None, all=None):
+        """Batched VA/EA row fetch (see the server ``fetch`` op)."""
+        payload = {}
+        if vids is not None:
+            payload["vids"] = list(vids)
+        if eids is not None:
+            payload["eids"] = list(eids)
+        if all is not None:
+            payload["all"] = all
+        return self._request("fetch", payload)
+
+    def crud(self, action, **args):
+        """One Blueprints mutation on the remote store.
+
+        Write actions are never auto-retried (the commit state of a
+        dropped connection is unknown); the classification lives in
+        :func:`classify_idempotent`.
+        """
+        payload = {"action": action}
+        payload.update(args)
+        return self._request("crud", payload)["value"]

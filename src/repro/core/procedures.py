@@ -54,6 +54,26 @@ class GraphProcedures:
             self._next_lid += 1
             return f"lid:{self._next_lid}"
 
+    def _commit(self):
+        """Autocommit boundary: one mutating procedure = one transaction.
+
+        Inside an explicit transaction the records carry its txid and the
+        transaction's own commit reaches the commit point; otherwise the
+        procedure IS the transaction, so its WAL records must hit the
+        commit point before the caller sees the acknowledgement — the
+        same kill -9 durability contract autocommitted SQL DML has.
+        Called after the table locks are released (group commit may
+        fsync, and a checkpoint may want those same locks).
+        """
+        database = self.database
+        wal = database.wal
+        if wal is None or wal.closed:
+            return
+        if database.current_transaction() is not None:
+            return
+        wal.commit_point()
+        database._maybe_auto_checkpoint()
+
     # ------------------------------------------------------------------
     # vertices
     # ------------------------------------------------------------------
@@ -64,6 +84,7 @@ class GraphProcedures:
             tables["va"].insert((vertex_id, dict(properties or {})), coerce=False)
         finally:
             LockManager.release(token)
+        self._commit()
         return vertex_id
 
     def get_vertex_properties(self, vertex_id):
@@ -83,6 +104,7 @@ class GraphProcedures:
         """Merge *properties* into the vertex's JSON attributes."""
         tables = self._tables()
         token = self._locked([tables["va"].name])
+        updated = False
         try:
             table = tables["va"]
             index = table.indexes[f"{table.name}_pk"]
@@ -93,10 +115,13 @@ class GraphProcedures:
                 attrs = dict(row[1] or {})
                 attrs.update(properties)
                 table.update(rid, (vertex_id, attrs), coerce=False)
-                return True
-            return False
+                updated = True
+                break
         finally:
             LockManager.release(token)
+        if updated:
+            self._commit()
+        return updated
 
     def delete_vertex(self, vertex_id):
         """Negative-id lazy delete (paper §4.5.2)."""
@@ -128,9 +153,11 @@ class GraphProcedures:
                 ea_index = ea.indexes[f"{ea.name}_{column}"]
                 for rid in list(ea_index.lookup(vertex_id)):
                     ea.delete(rid)
-            return found
         finally:
             LockManager.release(token)
+        if found:
+            self._commit()
+        return found
 
     # ------------------------------------------------------------------
     # edges
@@ -158,6 +185,7 @@ class GraphProcedures:
             )
         finally:
             LockManager.release(token)
+        self._commit()
         return edge_id
 
     def _adjacency_insert(self, primary, secondary, coloring, direction, vid,
@@ -227,6 +255,7 @@ class GraphProcedures:
         tables = self._tables()
         ea = tables["ea"]
         token = self._locked([ea.name])
+        updated = False
         try:
             index = ea.indexes[f"{ea.name}_pk"]
             for rid in index.lookup(edge_id):
@@ -236,10 +265,13 @@ class GraphProcedures:
                 attrs = dict(row[4] or {})
                 attrs.update(properties)
                 ea.update(rid, row[:4] + (attrs,), coerce=False)
-                return True
-            return False
+                updated = True
+                break
         finally:
             LockManager.release(token)
+        if updated:
+            self._commit()
+        return updated
 
     def delete_edge(self, edge_id):
         tables = self._tables()
@@ -257,20 +289,22 @@ class GraphProcedures:
                     row = candidate
                     ea.delete(rid)
                     break
-            if row is None:
-                return False
-            __, out_vertex, in_vertex, label, __attrs = row
-            self._adjacency_delete(
-                tables["opa"], tables["osa"], self.out_coloring, out_vertex,
-                edge_id, label,
-            )
-            self._adjacency_delete(
-                tables["ipa"], tables["isa"], self.in_coloring, in_vertex,
-                edge_id, label,
-            )
-            return True
+            if row is not None:
+                __, out_vertex, in_vertex, label, __attrs = row
+                self._adjacency_delete(
+                    tables["opa"], tables["osa"], self.out_coloring,
+                    out_vertex, edge_id, label,
+                )
+                self._adjacency_delete(
+                    tables["ipa"], tables["isa"], self.in_coloring,
+                    in_vertex, edge_id, label,
+                )
         finally:
             LockManager.release(token)
+        if row is None:
+            return False
+        self._commit()
+        return True
 
     def _adjacency_delete(self, primary, secondary, coloring, vid, eid, label):
         column = coloring.column_for(label)

@@ -39,7 +39,7 @@ errors so a draining server never waits on a long analytics loop.
 
 from __future__ import annotations
 
-import itertools
+import heapq
 import threading
 from time import monotonic, perf_counter
 
@@ -61,20 +61,30 @@ class AnalyticsCancelledError(AnalyticsError):
     """An analytics run was cancelled (e.g. server drain) mid-iteration."""
 
 
-#: process-wide scratch-table token source; tokens keep concurrent runs
-#: (different server sessions) from colliding on scratch names
-_TOKENS = itertools.count(1)
+#: process-wide scratch-table token pool; tokens keep concurrent runs
+#: (different server sessions) from colliding on scratch names.  Released
+#: tokens are reused smallest-first so back-to-back runs get the *same*
+#: scratch table names — and therefore byte-identical statement texts,
+#: which is what lets the prepared-statement/plan cache serve every
+#: fixed-shape statement of run k+1 from run k's entries.
 _TOKENS_GUARD = threading.Lock()
+_FREE_TOKENS = []  # min-heap of released tokens
+_NEXT_TOKEN = 1
 
 
-def _next_token():
+def _acquire_token():
+    global _NEXT_TOKEN
     with _TOKENS_GUARD:
-        return next(_TOKENS)
+        if _FREE_TOKENS:
+            return heapq.heappop(_FREE_TOKENS)
+        token = _NEXT_TOKEN
+        _NEXT_TOKEN += 1
+        return token
 
 
-def _sql_float(value):
-    """A float literal safe to splice into SQL (repr round-trips)."""
-    return repr(float(value))
+def _release_token(token):
+    with _TOKENS_GUARD:
+        heapq.heappush(_FREE_TOKENS, token)
 
 
 def _quote(text):
@@ -95,7 +105,7 @@ class _Run:
         self.stats = AnalyticsStats(algorithm, options)
         self.stats.session_id = obs_context.current_session_id()
         self.stats.connection = obs_context.current_connection()
-        self.token = _next_token()
+        self.token = _acquire_token()
         self.deadline = (
             None if time_budget_s is None else monotonic() + time_budget_s
         )
@@ -120,6 +130,9 @@ class _Run:
         finally:
             if self._pause is not None:
                 self._pause.__exit__(None, None, None)
+            # only after the scratch tables are gone: the next run to
+            # take this token recreates them from scratch
+            _release_token(self.token)
             self.stats.elapsed_s = perf_counter() - self._started
         return False
 
@@ -137,10 +150,16 @@ class _Run:
         self.sql(f"CREATE INDEX {table}_{column} ON {table} ({column}) "
                  "USING hash")
 
-    def sql(self, statement):
-        """Run one statement, honouring deadline + cancel between calls."""
+    def sql(self, statement, params=None):
+        """Run one statement, honouring deadline + cancel between calls.
+
+        Values that change between iterations (the dangling mass, the
+        sssp source, ...) are bound as ``?`` *params* rather than spliced
+        into the text, so every fixed-shape statement keeps one entry in
+        the prepared-statement/plan cache across iterations and runs.
+        """
         self.check()
-        result = self.database.execute(statement)
+        result = self.database.execute(statement, params)
         self.stats.statements_executed += 1
         return result
 
@@ -251,8 +270,8 @@ class GraphAnalytics:
             )
             run.sql(f"INSERT INTO {deg} SELECT src, COUNT(*) FROM {e} "
                     "GROUP BY src")
-            run.sql(f"INSERT INTO {rank} SELECT vid, {_sql_float(1.0 / n)} "
-                    f"FROM {v}")
+            run.sql(f"INSERT INTO {rank} SELECT vid, ? FROM {v}",
+                    params=(1.0 / n,))
             base = (1.0 - damping) / n
             converged = False
             for __ in range(max_iterations):
@@ -270,12 +289,13 @@ class GraphAnalytics:
                     "WHERE d.src IS NULL"
                 ).scalar() or 0.0
                 run.sql(f"DELETE FROM {nxt}")
+                # the per-iteration dangling mass is a bound param: the
+                # statement text is identical every iteration
                 run.sql(
                     f"INSERT INTO {nxt} "
-                    f"SELECT v.vid, {_sql_float(base)} + "
-                    f"{_sql_float(damping)} * (COALESCE(c.val, 0.0) + "
-                    f"{_sql_float(dangling / n)}) "
-                    f"FROM {v} v LEFT JOIN {contrib} c ON c.vid = v.vid"
+                    f"SELECT v.vid, ? + ? * (COALESCE(c.val, 0.0) + ?) "
+                    f"FROM {v} v LEFT JOIN {contrib} c ON c.vid = v.vid",
+                    params=(base, damping, dangling / n),
                 )
                 delta = run.sql(
                     f"SELECT SUM(ABS(n.val - r.val)) FROM {nxt} n "
@@ -437,7 +457,8 @@ class GraphAnalytics:
             self.last_stats = run.stats
             v, e, n = self._extract(run, weight_key=weight_key)
             present = run.sql(
-                f"SELECT COUNT(*) FROM {v} WHERE vid = {int(source)}"
+                f"SELECT COUNT(*) FROM {v} WHERE vid = ?",
+                params=(int(source),),
             ).scalar()
             if not present:
                 raise AnalyticsError(
@@ -460,8 +481,10 @@ class GraphAnalytics:
             nxt = run.scratch("next", "vid INTEGER PRIMARY KEY, val DOUBLE")
             cand = run.scratch("cand", "vid INTEGER PRIMARY KEY, val DOUBLE")
             stage = run.scratch("stage", "vid INTEGER, val DOUBLE")
-            run.sql(f"INSERT INTO {dist} VALUES ({int(source)}, 0.0)")
-            run.sql(f"INSERT INTO {front} VALUES ({int(source)}, 0.0)")
+            run.sql(f"INSERT INTO {dist} VALUES (?, 0.0)",
+                    params=(int(source),))
+            run.sql(f"INSERT INTO {front} VALUES (?, 0.0)",
+                    params=(int(source),))
             converged = False
             for __ in range(max_iterations):
                 started = perf_counter()

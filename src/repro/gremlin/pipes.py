@@ -29,6 +29,12 @@ COMPARE_TOKENS = {
 class Pipe:
     category = TRANSFORM
     extends_path = False
+    #: sharding metadata: ``True`` when evaluating the pipe never leaves
+    #: the shard that owns its input elements (pure filters, property
+    #: access, side effects over already-materialized traversers).
+    #: Adjacency hops and pipes that embed sub-pipelines are ``False`` —
+    #: the scatter-gather router must take over for those.
+    shard_local = True
 
 
 # ----------------------------------------------------------------------
@@ -43,6 +49,9 @@ class StartVertices(Pipe):
     value: object = None
     category = TRANSFORM
     extends_path = True
+    # start placement is the router's decision (which shards own the
+    # seed ids), not a local property of the pipe
+    shard_local = False
 
 
 @dataclass
@@ -54,6 +63,7 @@ class StartEdges(Pipe):
     value: object = None
     category = TRANSFORM
     extends_path = True
+    shard_local = False
 
 
 # ----------------------------------------------------------------------
@@ -67,6 +77,7 @@ class Adjacent(Pipe):
     labels: tuple = ()
     category = TRANSFORM
     extends_path = True
+    shard_local = False
 
 
 @dataclass
@@ -77,6 +88,7 @@ class IncidentEdges(Pipe):
     labels: tuple = ()
     category = TRANSFORM
     extends_path = True
+    shard_local = False
 
 
 @dataclass
@@ -86,6 +98,7 @@ class EdgeVertex(Pipe):
     direction: str
     category = TRANSFORM
     extends_path = True
+    shard_local = False
 
 
 @dataclass
@@ -238,12 +251,15 @@ class CyclicPathPipe(Pipe):
 class AndPipe(Pipe):
     branches: list = field(default_factory=list)  # anonymous pipelines
     category = FILTER
+    # embedded sub-pipelines may contain adjacency hops
+    shard_local = False
 
 
 @dataclass
 class OrPipe(Pipe):
     branches: list = field(default_factory=list)
     category = FILTER
+    shard_local = False
 
 
 @dataclass
@@ -252,6 +268,7 @@ class BackFilterPipe(Pipe):
 
     branch: list = field(default_factory=list)
     category = FILTER
+    shard_local = False
 
 
 # ----------------------------------------------------------------------
@@ -318,6 +335,7 @@ class IfThenElsePipe(Pipe):
 class CopySplitPipe(Pipe):
     branches: list = field(default_factory=list)  # anonymous pipelines
     category = BRANCH
+    shard_local = False
 
 
 @dataclass
@@ -335,6 +353,8 @@ class LoopPipe(Pipe):
     back_steps: int
     condition: object  # ClosureNode over it.loops (and maybe it)
     category = BRANCH
+    # the looped section may contain adjacency hops
+    shard_local = False
 
 
 @dataclass

@@ -301,6 +301,10 @@ class QueryStats:
         #: serving-layer attribution (``None`` outside a server session)
         self.session_id = None
         self.connection = None
+        #: scatter-gather accounting for sharded execution (``None`` on
+        #: an embedded store): ``{"mode": "forward"|"scatter", "shards",
+        #: "target_shard", "hops", "requests"}``
+        self.sharding = None
 
     def as_dict(self):
         return {
@@ -315,6 +319,7 @@ class QueryStats:
             "plan_cache_hit": self.plan_cache_hit,
             "cache_stats": self.cache_stats,
             "wal": self.wal,
+            "sharding": self.sharding,
             "trace": self.trace.as_dict() if self.trace else None,
             "execution": self.execution.as_dict() if self.execution else None,
         }

@@ -68,7 +68,21 @@ def main(argv=None):
         "--drain-timeout", type=float, default=5.0,
         help="grace window for open transactions at shutdown",
     )
+    parser.add_argument(
+        "--shard-index", type=int, default=None,
+        help="serve shard N of a hash-partitioned cluster: load only "
+        "the dataset partition this shard owns (requires --shard-count)",
+    )
+    parser.add_argument(
+        "--shard-count", type=int, default=None,
+        help="total shards in the cluster (with --shard-index)",
+    )
     args = parser.parse_args(argv)
+    if (args.shard_index is None) != (args.shard_count is None):
+        parser.error("--shard-index and --shard-count go together")
+    if args.shard_index is not None and not (
+            0 <= args.shard_index < args.shard_count):
+        parser.error("--shard-index must be in [0, --shard-count)")
 
     # handlers go in before the readiness line prints: a supervisor may
     # SIGTERM us the instant it sees "listening on ..."
@@ -80,7 +94,10 @@ def main(argv=None):
     signal.signal(signal.SIGTERM, _request_shutdown)
     signal.signal(signal.SIGINT, _request_shutdown)
 
-    store = build_store(args.dataset, args.scale, path=args.path)
+    store = build_store(
+        args.dataset, args.scale, path=args.path,
+        shard_index=args.shard_index, shard_count=args.shard_count,
+    )
     server = SQLGraphServer(
         store,
         host=args.host,

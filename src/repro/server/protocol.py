@@ -102,6 +102,9 @@ TRANSACTION_ERROR = "TRANSACTION_ERROR"
 GREMLIN_ERROR = "GREMLIN_ERROR"
 INTERNAL_ERROR = "INTERNAL_ERROR"
 
+#: a sharded coordinator could not reach a worker shard
+SHARD_UNAVAILABLE = "SHARD_UNAVAILABLE"
+
 #: codes a client may retry without risking a duplicated effect: the
 #: request was rejected before (or instead of) mutating the store
 RETRYABLE_CODES = frozenset(
@@ -129,7 +132,13 @@ _EXCEPTION_CODES = (
 
 
 def code_for_exception(exc):
-    """Map an engine exception to its wire error code."""
+    """Map an engine exception to its wire error code.
+
+    A :class:`WireError` keeps its own code — a coordinator relaying a
+    worker shard's typed failure must not flatten it to INTERNAL_ERROR.
+    """
+    if isinstance(exc, WireError):
+        return exc.code
     for exc_type, code in _EXCEPTION_CODES:
         if isinstance(exc, exc_type):
             return code

@@ -490,6 +490,8 @@ class SQLGraphServer:
                 "translate_s": stats.translate_s,
                 "translation_cache_hit": stats.translation_cache_hit,
                 "plan_cache_hit": stats.plan_cache_hit,
+                # routing info when the store is a sharded cluster facade
+                "sharding": stats.sharding,
             },
         }
 
@@ -638,6 +640,156 @@ class SQLGraphServer:
             "stats": stats.as_dict() if stats is not None else None,
         }
 
+    # ------------------------------------------------------------------
+    # sharding transport ops (batched primitives the scatter-gather
+    # router fans out; see src/repro/sharding/router.py)
+    # ------------------------------------------------------------------
+    def _op_hop(self, session, message):
+        """Resolve one adjacency hop for a batch of frontier vids.
+
+        Returns the live EA rows whose ``outv`` (direction ``out``) or
+        ``inv`` (direction ``in``) is in *vids*, optionally restricted
+        to *labels*.  One indexed, plan-cached probe per frontier vid.
+        """
+        direction = _required(message, "direction")
+        if direction not in ("out", "in"):
+            raise _BadRequest("hop direction must be 'out' or 'in'")
+        vids = message.get("vids") or []
+        labels = message.get("labels") or []
+        if not isinstance(vids, list) or not isinstance(labels, list):
+            raise _BadRequest("hop 'vids' and 'labels' must be arrays")
+        names = self.store.schema.table_names
+        column = "outv" if direction == "out" else "inv"
+        sql = (
+            f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+            f"WHERE eid >= 0 AND {column} = ?"
+        )
+        if labels:
+            placeholders = ", ".join("?" for _ in labels)
+            sql += f" AND lbl IN ({placeholders})"
+        rows = []
+        with self._statement_budget(session):
+            for vid in vids:
+                result = self.store.database.execute(sql, [vid, *labels])
+                rows.extend(result.rows)
+        return {"rows": jsonable_rows(rows)}
+
+    def _op_fetch(self, session, message):
+        """Batched element fetch: live VA/EA rows for explicit ids, full
+        per-shard scans (``all``), or element counts."""
+        names = self.store.schema.table_names
+        result = {}
+        with self._statement_budget(session):
+            if "vids" in message:
+                vids = message["vids"]
+                if not isinstance(vids, list):
+                    raise _BadRequest("fetch 'vids' must be an array")
+                sql = f"SELECT vid, attr FROM {names['va']} WHERE vid = ?"
+                rows = []
+                for vid in vids:
+                    if not isinstance(vid, int) or vid < 0:
+                        continue  # tombstones are negative; never match
+                    rows.extend(self.store.database.execute(sql, [vid]).rows)
+                result["vertices"] = jsonable_rows(rows)
+            if "eids" in message:
+                eids = message["eids"]
+                if not isinstance(eids, list):
+                    raise _BadRequest("fetch 'eids' must be an array")
+                sql = (
+                    f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+                    "WHERE eid = ?"
+                )
+                rows = []
+                for eid in eids:
+                    if not isinstance(eid, int) or eid < 0:
+                        continue
+                    rows.extend(self.store.database.execute(sql, [eid]).rows)
+                result["edges"] = jsonable_rows(rows)
+            what = message.get("all")
+            if what == "vertices":
+                rows = self.store.database.execute(
+                    f"SELECT vid, attr FROM {names['va']} WHERE vid >= 0"
+                ).rows
+                result["vertices"] = jsonable_rows(rows)
+            elif what == "edges":
+                rows = self.store.database.execute(
+                    f"SELECT eid, outv, inv, lbl, attr FROM {names['ea']} "
+                    "WHERE eid >= 0"
+                ).rows
+                result["edges"] = jsonable_rows(rows)
+            elif what == "counts":
+                result["counts"] = {
+                    "vertices": self.store.vertex_count(),
+                    "edges": self.store.edge_count(),
+                }
+            elif what == "max_ids":
+                max_vid = self.store.database.execute(
+                    f"SELECT MAX(vid) FROM {names['va']} WHERE vid >= 0"
+                ).scalar()
+                max_eid = self.store.database.execute(
+                    f"SELECT MAX(eid) FROM {names['ea']} WHERE eid >= 0"
+                ).scalar()
+                result["max_ids"] = {
+                    "vid": max_vid or 0, "eid": max_eid or 0,
+                }
+            elif what is not None:
+                raise _BadRequest(
+                    "fetch 'all' must be one of vertices/edges/counts/"
+                    "max_ids"
+                )
+        if not result:
+            raise _BadRequest("fetch requires 'vids', 'eids' or 'all'")
+        return result
+
+    #: crud action -> (store method, required args, optional args)
+    _CRUD = {
+        "get_vertex": ("get_vertex", ("vertex_id",), ()),
+        "get_edge": ("get_edge", ("edge_id",), ()),
+        "add_vertex": ("add_vertex", (), ("vertex_id", "properties")),
+        "add_edge": (
+            "add_edge",
+            ("out_vertex_id", "in_vertex_id", "label"),
+            ("edge_id", "properties"),
+        ),
+        "remove_vertex": ("remove_vertex", ("vertex_id",), ()),
+        "remove_edge": ("remove_edge", ("edge_id",), ()),
+        "set_vertex_property": (
+            "set_vertex_property", ("vertex_id", "key", "value"), ()
+        ),
+        "set_edge_property": (
+            "set_edge_property", ("edge_id", "key", "value"), ()
+        ),
+    }
+
+    def _op_crud(self, session, message):
+        """One Blueprints mutation, routed to the owning shard by the
+        coordinator.  Autocommits exactly like the embedded store."""
+        action = _required(message, "action")
+        spec = self._CRUD.get(action)
+        if spec is None:
+            known = ", ".join(sorted(self._CRUD))
+            raise _BadRequest(
+                f"unknown crud action {action!r} (known: {known})"
+            )
+        method, required, optional = spec
+        kwargs = {}
+        for name in required:
+            kwargs[name] = _required(message, name)
+        for name in optional:
+            if message.get(name) is not None:
+                kwargs[name] = message[name]
+        with self._statement_budget(session):
+            value = getattr(self.store, method)(**kwargs)
+        if value is not None and hasattr(value, "id") and \
+                hasattr(value, "properties"):
+            # a get_* result: flatten the element to a JSON-able dict
+            element = {"id": value.id, "properties": dict(value.properties)}
+            if hasattr(value, "outv"):
+                element.update(outv=value.outv, inv=value.inv,
+                               label=value.label)
+            value = element
+        return {"value": value}
+
     _HANDLERS = {
         "ping": _op_ping,
         "analytics": _op_analytics,
@@ -650,6 +802,9 @@ class SQLGraphServer:
         "set": _op_set,
         "stats": _op_stats,
         "shell": _op_shell,
+        "hop": _op_hop,
+        "fetch": _op_fetch,
+        "crud": _op_crud,
     }
 
     # ------------------------------------------------------------------
@@ -711,9 +866,14 @@ class SQLGraphServer:
             "draining": self._draining.is_set(),
             # ANALYZE statistics snapshot: which tables the shared store's
             # cost-based planner currently has estimates for
-            "optimizer_statistics": self.store.database.statistics.snapshot(),
+            "optimizer_statistics": self._store_statistics(),
             **counters,
         }
+
+    def _store_statistics(self):
+        """Optimizer-statistics snapshot; a sharded coordinator has no
+        local relational engine to snapshot."""
+        return self.store.database.statistics.snapshot()
 
     def _stats_lines(self, session):
         """Server section appended to a remote ``:stats``."""

@@ -1,0 +1,41 @@
+"""Scale-out serving: hash-partitioned stores behind a scatter-gather router.
+
+The single-process serving layer (:mod:`repro.server`) is capped by the
+GIL and table-level locks.  This package distributes one logical graph
+across N independent :class:`~repro.server.SQLGraphServer` worker
+processes — each a complete SQLGraph store with its own schema, plan
+caches and WAL — and puts a thin coordinator in front:
+
+* :mod:`repro.sharding.partition` — ownership function (``shard_of``)
+  and the bulk partitioner used for per-shard dataset loads;
+* :mod:`repro.sharding.pool` — a small per-shard client pool over the
+  existing framed-JSON wire protocol;
+* :mod:`repro.sharding.router` — the scatter-gather query router:
+  :class:`ShardedStore` (the store facade), :class:`ShardedGraph`
+  (Blueprints adapter) and :class:`ShardedInterpreter` (frontier-batched
+  Gremlin evaluation);
+* :mod:`repro.sharding.coordinator` — :class:`CoordinatorServer`, a
+  wire-compatible server whose "store" is a :class:`ShardedStore`, so
+  ``repro.cli --connect`` works against a cluster transparently;
+* :mod:`repro.sharding.manager` — :class:`ShardManager`, the process
+  supervisor behind the ``repro-shard`` entry point.
+
+See ``docs/SHARDING.md`` for the partitioning scheme, routing rules and
+failure semantics.
+"""
+
+from repro.sharding.partition import partition_graph, shard_of
+from repro.sharding.pool import ShardClientPool
+from repro.sharding.router import ShardedStore, ShardRouter
+from repro.sharding.coordinator import CoordinatorServer
+from repro.sharding.manager import ShardManager
+
+__all__ = [
+    "CoordinatorServer",
+    "ShardClientPool",
+    "ShardManager",
+    "ShardRouter",
+    "ShardedStore",
+    "partition_graph",
+    "shard_of",
+]

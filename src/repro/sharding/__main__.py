@@ -1,0 +1,115 @@
+"""``repro-shard`` / ``python -m repro.sharding`` — boot a sharded cluster.
+
+Usage::
+
+    repro-shard --shards 4 --dataset linkbench --data-dir /var/lib/sqlgraph
+    repro-shard --shards 2 --port 0      # ephemeral coordinator port
+
+Launches N worker shard processes (hash-partitioned bulk load, per-shard
+WAL), supervises them (dead workers are respawned on their learned
+port), and serves the scatter-gather coordinator on ``--port``.  Any
+SQLGraph client — ``sqlgraph-shell --connect``, benchmarks — can point
+at the coordinator transparently.  Readiness is announced by printing
+``listening on HOST:PORT`` once the coordinator is up; ``SIGTERM`` /
+``SIGINT`` drains the coordinator then stops the workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import tempfile
+import threading
+
+from repro.sharding.coordinator import CoordinatorServer
+from repro.sharding.manager import ShardManager
+from repro.sharding.router import ShardedStore
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro-shard",
+        description="SQLGraph sharded cluster: N workers + coordinator",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="number of hash partitions / worker processes",
+    )
+    parser.add_argument(
+        "--dataset", default="tinker",
+        choices=["tinker", "classic", "dbpedia", "linkbench"],
+        help="graph to partition and load on first boot",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier for dbpedia/linkbench",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="root directory for per-shard durable storage "
+        "(shard-0/, shard-1/, ...); a temp dir when omitted",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7688,
+        help="coordinator TCP port (0 = ephemeral, printed on stdout)",
+    )
+    parser.add_argument(
+        "--shard-base-port", type=int, default=0,
+        help="first worker port (0 = ephemeral per worker)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="coordinator worker pool size = concurrent session cap",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, default=4,
+        help="worker pool size of each shard server",
+    )
+    args = parser.parse_args(argv)
+    if args.shards <= 0:
+        parser.error("--shards must be positive")
+
+    stop = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+
+    data_dir = args.data_dir or tempfile.mkdtemp(prefix="repro-shard-")
+    manager = ShardManager(
+        args.shards,
+        data_dir,
+        dataset=args.dataset,
+        scale=args.scale,
+        host=args.host,
+        base_port=args.shard_base_port,
+        workers_per_shard=args.shard_workers,
+    )
+    print(f"starting {args.shards} shard workers under {data_dir}",
+          flush=True)
+    manager.start()
+    for shard, (host, port) in zip(manager.shards, manager.addresses()):
+        print(f"shard {shard.index} on {host}:{port}", flush=True)
+
+    store = ShardedStore.connect(manager.addresses(), manager=manager)
+    server = CoordinatorServer(
+        store, host=args.host, port=args.port, max_workers=args.workers,
+    )
+    try:
+        server.start()
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        stop.wait()
+        print("shutting down: draining sessions", flush=True)
+        server.shutdown()
+    finally:
+        manager.stop()
+    print("bye", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

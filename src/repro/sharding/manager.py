@@ -1,0 +1,229 @@
+"""Shard process supervision: launch, monitor, restart.
+
+:class:`ShardManager` spawns one ``python -m repro.server`` process per
+shard — each loading its hash-partition of the dataset into its own
+durable directory with its own WAL — and keeps them alive: a monitor
+thread polls the processes and respawns any that die, re-binding the
+same port so the coordinator's client pools reconnect transparently.
+Recovery is the ordinary single-store path (the data directory already
+holds a schema, so the dataset load is skipped and the WAL replays),
+which is what makes per-shard crash recovery composable: kill -9 one
+worker and only its partition replays.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+READY_PREFIX = "listening on "
+
+
+class ShardStartupError(RuntimeError):
+    """A shard process exited (or went silent) before announcing its port."""
+
+
+class ShardProcess:
+    """One supervised worker: spawn args + the live Popen handle."""
+
+    def __init__(self, index, path, port=0):
+        self.index = index
+        self.path = path
+        self.port = port  # 0 until the first boot announces one
+        self.process = None
+        self.restarts = 0
+
+    @property
+    def alive(self):
+        return self.process is not None and self.process.poll() is None
+
+
+class ShardManager:
+    """Launch and supervise N shard server processes.
+
+    :param num_shards: cluster width (the hash modulus).
+    :param data_dir: root directory; shard *i* persists under
+        ``data_dir/shard-<i>``.
+    :param dataset/scale: partitioned bulk load on first boot.
+    :param host: bind address for every worker.
+    :param base_port: first worker port; 0 assigns ephemeral ports
+        (recorded after boot and re-used on restart).
+    :param env: extra environment variables for the workers (e.g.
+        ``REPRO_WAL_FSYNC``).
+    :param supervise: restart dead workers automatically.
+    """
+
+    POLL_INTERVAL_S = 0.2
+    BOOT_TIMEOUT_S = 60.0
+
+    def __init__(self, num_shards, data_dir, dataset="tinker", scale=1.0,
+                 host="127.0.0.1", base_port=0, workers_per_shard=4,
+                 env=None, supervise=True):
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self.data_dir = Path(data_dir)
+        self.dataset = dataset
+        self.scale = scale
+        self.host = host
+        self.workers_per_shard = workers_per_shard
+        self.env = dict(env or {})
+        self.supervise = supervise
+        self.shards = [
+            ShardProcess(
+                index,
+                self.data_dir / f"shard-{index}",
+                port=0 if base_port == 0 else base_port + index,
+            )
+            for index in range(num_shards)
+        ]
+        self._monitor = None
+        self._stopping = threading.Event()
+        self._guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def start(self):
+        """Boot every shard, wait for readiness, start supervision."""
+        self._stopping.clear()
+        for shard in self.shards:
+            self._spawn(shard)
+        if self.supervise:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="shard-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def stop(self, timeout_s=10.0):
+        """Graceful SIGTERM to every worker, SIGKILL stragglers."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout_s)
+            self._monitor = None
+        with self._guard:
+            shards = list(self.shards)
+        for shard in shards:
+            if shard.alive:
+                shard.process.terminate()
+        deadline = time.monotonic() + timeout_s
+        for shard in shards:
+            if shard.process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                shard.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                shard.process.kill()
+                shard.process.wait(timeout=5.0)
+
+    def addresses(self):
+        return [(self.host, shard.port) for shard in self.shards]
+
+    def kill(self, index, sig=signal.SIGKILL):
+        """Hard-kill one worker (crash testing); supervision restarts it."""
+        shard = self.shards[index]
+        if shard.alive:
+            os.kill(shard.process.pid, sig)
+            shard.process.wait(timeout=10.0)
+
+    def wait_alive(self, index, timeout_s=30.0):
+        """Block until shard *index* is accepting again (post-kill).
+
+        "Alive" means the respawned process is actually serving — its
+        listener accepts a TCP connection — not merely forked.
+        """
+        deadline = time.monotonic() + timeout_s
+        shard = self.shards[index]
+        while time.monotonic() < deadline:
+            if shard.alive and self._accepting(shard):
+                return True
+            time.sleep(self.POLL_INTERVAL_S)
+        return False
+
+    def _accepting(self, shard):
+        try:
+            socket.create_connection(
+                (self.host, shard.port), timeout=0.5
+            ).close()
+            return True
+        except OSError:
+            return False
+
+    def describe(self):
+        """Supervision snapshot for the ``:shards`` report."""
+        return [
+            {
+                "shard": shard.index,
+                "address": f"{self.host}:{shard.port}",
+                "pid": shard.process.pid if shard.alive else None,
+                "alive": shard.alive,
+                "restarts": shard.restarts,
+            }
+            for shard in self.shards
+        ]
+
+    # ------------------------------------------------------------------
+    def _spawn(self, shard):
+        shard.path.mkdir(parents=True, exist_ok=True)
+        command = [
+            sys.executable, "-u", "-m", "repro.server",
+            "--host", self.host,
+            "--port", str(shard.port),
+            "--path", str(shard.path),
+            "--dataset", self.dataset,
+            "--scale", str(self.scale),
+            "--workers", str(self.workers_per_shard),
+            "--shard-index", str(shard.index),
+            "--shard-count", str(self.num_shards),
+        ]
+        env = dict(os.environ)
+        env.update(self.env)
+        # the workers import repro from this checkout even when the
+        # package is not installed
+        src = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src, env.get("PYTHONPATH")) if part
+        )
+        shard.process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        shard.port = self._await_ready(shard)
+        return shard
+
+    def _await_ready(self, shard):
+        deadline = time.monotonic() + self.BOOT_TIMEOUT_S
+        while time.monotonic() < deadline:
+            line = shard.process.stdout.readline()
+            if not line:
+                raise ShardStartupError(
+                    f"shard {shard.index} exited before announcing its "
+                    f"port (rc={shard.process.poll()})"
+                )
+            line = line.strip()
+            if line.startswith(READY_PREFIX):
+                return int(line.rsplit(":", 1)[1])
+        raise ShardStartupError(
+            f"shard {shard.index} did not become ready within "
+            f"{self.BOOT_TIMEOUT_S}s"
+        )
+
+    def _monitor_loop(self):
+        while not self._stopping.is_set():
+            for shard in self.shards:
+                if self._stopping.is_set():
+                    return
+                if not shard.alive:
+                    shard.restarts += 1
+                    try:
+                        self._spawn(shard)
+                    except ShardStartupError:
+                        # stay in the loop; the next sweep tries again
+                        continue
+            self._stopping.wait(self.POLL_INTERVAL_S)

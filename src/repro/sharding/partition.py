@@ -1,0 +1,102 @@
+"""Vertex ownership and bulk graph partitioning.
+
+Ownership is a pure function of the vertex id: ``shard_of(vid, n)``
+hashes the id through the Knuth multiplicative constant so consecutive
+ids (the common allocation pattern) spread evenly instead of striping.
+Every edge lives on the shard that owns its **source** vertex, so a
+vertex's complete out-adjacency — the hot direction for traversals — is
+always a single-shard lookup; in-hops are resolved by broadcasting to
+all shards (the edge can have been stored anywhere).
+
+``partition_graph`` splits one in-memory property graph into per-shard
+subgraphs suitable for :class:`~repro.core.loader.SQLGraphLoader`:
+
+* shard *s* holds VA rows for exactly the vertices it owns;
+* shard *s* holds EA/OPA rows for exactly the edges whose source it
+  owns.  A cross-shard edge's head vertex is represented by a *ghost*
+  :class:`~repro.graph.model.Vertex` — referenced by the edge object so
+  the loader can read ``edge.in_vertex.id``, but never yielded by
+  ``vertices()``, so no duplicate VA row exists anywhere;
+* a shard's IPA rows cover only its **local** edges.  In-adjacency of
+  cross-shard edges is intentionally represented nowhere: the router
+  never uses IPA across shards (it broadcasts ``ea.inv`` probes), and a
+  worker queried directly serves only its own fragment.
+"""
+
+from __future__ import annotations
+
+from repro.graph.model import Edge, PropertyGraph, Vertex
+
+#: Knuth's multiplicative hashing constant (2^32 / phi)
+_KNUTH = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+def shard_of(vid, num_shards):
+    """The shard index owning vertex *vid* in a *num_shards* cluster."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    return ((int(vid) * _KNUTH) & _MASK) % num_shards
+
+
+def owner_groups(vids, num_shards):
+    """Group *vids* by owning shard: ``{shard_index: [vid, ...]}``.
+
+    Preserves first-seen order within each group and drops duplicates —
+    the shape every scatter call wants its frontier in.
+    """
+    groups = {}
+    seen = set()
+    for vid in vids:
+        if vid in seen:
+            continue
+        seen.add(vid)
+        groups.setdefault(shard_of(vid, num_shards), []).append(vid)
+    return groups
+
+
+def partition_graph(graph, num_shards):
+    """Split *graph* into *num_shards* loadable subgraphs.
+
+    Returns a list of :class:`PropertyGraph` objects, one per shard,
+    following the ownership rules in the module docstring.  The input
+    graph is not modified; vertices, edges and property dicts are
+    copied.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    shards = [PropertyGraph() for _ in range(num_shards)]
+    for vertex in graph.vertices():
+        index = shard_of(vertex.id, num_shards)
+        shards[index].add_vertex(vertex.id, dict(vertex.properties))
+    # ghost head vertices per shard: referenced by local edge objects but
+    # never registered, so the loader sees them only through the edge
+    ghosts = [dict() for _ in range(num_shards)]
+    for edge in graph.edges():
+        index = shard_of(edge.out_vertex.id, num_shards)
+        subgraph = shards[index]
+        tail = subgraph.get_vertex(edge.out_vertex.id)
+        head = subgraph.get_vertex(edge.in_vertex.id)
+        if head is None:
+            head = ghosts[index].get(edge.in_vertex.id)
+            if head is None:
+                head = Vertex(edge.in_vertex.id, dict(edge.in_vertex.properties))
+                ghosts[index][edge.in_vertex.id] = head
+        _register_edge(
+            subgraph,
+            Edge(edge.id, tail, head, edge.label, dict(edge.properties)),
+        )
+    return shards
+
+
+def _register_edge(subgraph, edge):
+    """Attach *edge* to *subgraph* without endpoint-existence validation.
+
+    ``PropertyGraph.add_edge`` requires both endpoints to be registered
+    vertices; a partitioned subgraph deliberately dangles edge heads
+    into ghost vertices, so the edge is wired up manually here.
+    """
+    subgraph._edges[edge.id] = edge
+    subgraph._next_edge_id = max(subgraph._next_edge_id, edge.id + 1)
+    edge.out_vertex.out_edges.setdefault(edge.label, []).append(edge)
+    edge.in_vertex.in_edges.setdefault(edge.label, []).append(edge)

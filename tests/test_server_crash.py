@@ -125,6 +125,44 @@ class TestKillNine:
             assert proc2.wait(timeout=15) == 0
 
 
+class TestCrudKillNine:
+    def test_acknowledged_crud_survives_sigkill(self, tmp_path):
+        """The stored-procedure CRUD path honors the same contract as SQL
+        DML: once ``crud`` returns over the wire, the mutation's WAL
+        records have reached a commit point (flushed to the OS) and
+        survive kill -9 — they are not buffered until some later SQL
+        statement happens to commit."""
+        proc, port = _spawn_server(tmp_path / "store")
+        acked = {}
+        with SQLGraphClient("127.0.0.1", port, retries=0) as client:
+            for offset in range(10):
+                vid = client.crud(
+                    "add_vertex", properties={"name": f"crud{offset}"}
+                )
+                acked[vid] = f"crud{offset}"
+            eid = client.crud(
+                "add_edge", out_vertex_id=min(acked), in_vertex_id=max(acked),
+                label="follows",
+            )
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        _wait_port_free(port)
+
+        proc2, port2 = _spawn_server(tmp_path / "store")
+        try:
+            with SQLGraphClient("127.0.0.1", port2) as client:
+                for vid, name in acked.items():
+                    element = client.crud("get_vertex", vertex_id=vid)
+                    assert element is not None, f"lost acked vertex {vid}"
+                    assert element["properties"]["name"] == name
+                edge = client.crud("get_edge", edge_id=eid)
+                assert edge is not None, "lost acked edge"
+                assert edge["label"] == "follows"
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=15) == 0
+
+
 class TestGracefulShutdown:
     def test_sigterm_drains_and_exits_zero(self, tmp_path):
         proc, port = _spawn_server(tmp_path / "store")
