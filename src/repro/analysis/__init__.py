@@ -20,6 +20,22 @@ and tribal knowledge.  This package machine-checks them:
 * :mod:`repro.analysis.docs` — the markdown docs link/reference checker
   (formerly ``tools/check_docs_links.py``).
 
+PR 10 grew a flow-sensitive engine — :mod:`repro.analysis.cfg` builds
+per-function control-flow graphs (branches, loops, ``with``,
+``try/except/finally``, return/raise edges) and
+:mod:`repro.analysis.dataflow` runs path queries and forward gen/kill
+analyses over them — plus the rule packs on top:
+
+* :mod:`repro.analysis.walflow` — WAL commit-point reachability (the
+  PR-9 stored-procedure durability bug, as a checked invariant);
+* :mod:`repro.analysis.release` — locks/sockets/files acquired outside
+  ``with`` must be released on every path, exception edges included;
+* :mod:`repro.analysis.wirecheck` — wire-protocol error-code
+  conformance: declared, classified retryable-or-not, no dead codes,
+  relays preserve the original code;
+* the interprocedural ``# holds:`` caller check lives with its
+  intra-class sibling in :mod:`repro.analysis.concurrency`.
+
 The framework (rule registry, suppressions, baseline, reports) lives in
 :mod:`repro.analysis.core`; ``tools/reprolint.py`` is the CLI driver and
 the single analysis entry point.  See docs/ANALYSIS.md for the rule
@@ -42,4 +58,7 @@ from repro.analysis import concurrency  # noqa: F401,E402
 from repro.analysis import docs  # noqa: F401,E402
 from repro.analysis import hygiene  # noqa: F401,E402
 from repro.analysis import lockgraph  # noqa: F401,E402
+from repro.analysis import release  # noqa: F401,E402
 from repro.analysis import sqlcheck  # noqa: F401,E402
+from repro.analysis import walflow  # noqa: F401,E402
+from repro.analysis import wirecheck  # noqa: F401,E402

@@ -1,0 +1,461 @@
+"""Per-function control-flow graphs over the Python AST.
+
+Statement-granular CFGs for the flow-sensitive rules (wal-commit
+reachability, release-on-all-paths).  Every simple statement and every
+compound-statement *header* (the ``if``/``while`` test, the ``for``
+iterable, the ``with`` context expressions) becomes one node; suites
+belong to their own nodes.  Three synthetic nodes frame the function:
+``entry``, ``exit`` (normal returns / fall-off-the-end) and
+``raise_exit`` (exceptions that escape the function).
+
+Edges carry a kind:
+
+* :data:`FLOW` — ordinary fall-through;
+* :data:`TRUE` / :data:`FALSE` — the two arms of a branch header
+  (``if``/``while`` test outcome, ``for`` yielded-vs-exhausted);
+* :data:`EXC` — the statement raised.
+
+Exception edges are added from any statement that *may* raise — a
+``raise``/``assert``, an import, or anything whose evaluated expressions
+contain a call or ``await`` (attribute access and arithmetic are assumed
+non-raising; ``lambda`` bodies and nested ``def`` bodies run elsewhere
+and are excluded).  ``for`` headers always get an exception edge because
+the iteration protocol itself calls ``__iter__``/``__next__``.
+
+``try`` lowering follows Python semantics: body exceptions edge to every
+handler (stopping at a catch-all handler — bare ``except``, ``except
+Exception``/``BaseException``); handler and ``else`` bodies run outside
+the handler scope but inside any ``finally``.  A ``finally`` suite is
+lowered once, in the *enclosing* frame context (its own exceptions
+propagate outward, not to this ``try``'s handlers), behind a synthetic
+``<finally@line>`` marker node.  Every way of leaving the ``try`` —
+normal completion, exception, ``return``, ``break``, ``continue`` —
+edges into that marker, and after the suite the union of all pending
+continuations is resumed.  The union is a deliberate over-approximation
+(a path that entered the finally via ``return`` also appears to fall
+through) — safe for the may/must queries the rules ask.
+
+``with`` blocks are a single header node plus their suite; ``__exit__``
+is not modelled as an implicit handler (rules that care exempt
+with-managed resources instead).
+"""
+
+from __future__ import annotations
+
+import ast
+
+FLOW = "flow"
+TRUE = "true"
+FALSE = "false"
+EXC = "exc"
+
+_TRY_TYPES = (ast.Try,) + ((ast.TryStar,) if hasattr(ast, "TryStar") else ())
+_MATCH_TYPE = getattr(ast, "Match", ())
+_FUNC_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_DEF_TYPES = _FUNC_TYPES + (ast.ClassDef,)
+
+
+class Node:
+    """One CFG node: a statement, or a synthetic marker."""
+
+    __slots__ = ("index", "kind", "stmt", "line")
+
+    def __init__(self, index, kind, stmt=None, line=0):
+        self.index = index
+        self.kind = kind  # 'stmt' | 'entry' | 'exit' | 'raise' | 'finally' | 'handler'
+        self.stmt = stmt
+        self.line = line
+
+    def describe(self):
+        """Stable label for tests and messages: ``Assign@12``, ``<exit>``."""
+        if self.stmt is not None:
+            return f"{type(self.stmt).__name__}@{self.line}"
+        if self.line:
+            return f"<{self.kind}@{self.line}>"
+        return f"<{self.kind}>"
+
+    def __repr__(self):
+        return f"Node({self.index}, {self.describe()})"
+
+
+class CFG:
+    """Nodes plus kinded adjacency; ``entry``/``exit``/``raise_exit`` indices."""
+
+    def __init__(self):
+        self.nodes = []
+        self.succ = {}  # index -> [(index, kind)]
+        self.pred = {}  # index -> [(index, kind)]
+        self._by_stmt = {}  # id(stmt) -> Node
+        self.entry = self.add_node("entry")
+        self.exit = self.add_node("exit")
+        self.raise_exit = self.add_node("raise")
+
+    def add_node(self, kind, stmt=None, line=0):
+        node = Node(len(self.nodes), kind, stmt, line)
+        self.nodes.append(node)
+        self.succ[node.index] = []
+        self.pred[node.index] = []
+        if stmt is not None:
+            self._by_stmt[id(stmt)] = node
+        return node.index
+
+    def add_edge(self, src, dst, kind):
+        if (dst, kind) not in self.succ[src]:
+            self.succ[src].append((dst, kind))
+            self.pred[dst].append((src, kind))
+
+    def node_for(self, stmt):
+        """The Node owning *stmt*, or None (e.g. inside a nested def)."""
+        return self._by_stmt.get(id(stmt))
+
+    def edge_set(self):
+        """``{(src.describe(), dst.describe(), kind)}`` — for assertions."""
+        return {
+            (self.nodes[src].describe(), self.nodes[dst].describe(), kind)
+            for src, targets in self.succ.items()
+            for dst, kind in targets
+        }
+
+
+class _LoopFrame:
+    __slots__ = ("header", "breaks")
+
+    def __init__(self, header):
+        self.header = header
+        self.breaks = []  # node indices that break out of this loop
+
+
+class _TryFrame:
+    __slots__ = ("handlers", "catch_all")
+
+    def __init__(self, handlers, catch_all):
+        self.handlers = handlers  # handler marker node indices
+        self.catch_all = catch_all
+
+
+class _FinallyFrame:
+    __slots__ = ("entry", "conts")
+
+    def __init__(self, entry):
+        self.entry = entry  # the <finally> marker node index
+        self.conts = set()  # pending: 'normal'|'exc'|'return'|'break'|'continue'
+
+
+def _catches_all(handler):
+    """Bare ``except`` or ``except (Base)Exception`` stops propagation."""
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    for t in types:
+        if isinstance(t, ast.Name) and t.id in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self, func):
+        self.func = func
+        self.cfg = CFG()
+        self.frames = []
+
+    def build(self):
+        out = self._suite(self.func.body, [(self.cfg.entry, FLOW)])
+        self._join(out, self.cfg.exit)
+        return self.cfg
+
+    # --- plumbing ---------------------------------------------------
+
+    def _join(self, frontier, target):
+        for src, kind in frontier:
+            self.cfg.add_edge(src, target, kind)
+
+    def _new(self, stmt):
+        return self.cfg.add_node("stmt", stmt, stmt.lineno)
+
+    def _route_exception(self, src):
+        """Edge *src* to wherever an exception raised there lands."""
+        for frame in reversed(self.frames):
+            if isinstance(frame, _TryFrame):
+                for handler in frame.handlers:
+                    self.cfg.add_edge(src, handler, EXC)
+                if frame.catch_all:
+                    return
+            elif isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(src, frame.entry, EXC)
+                frame.conts.add("exc")
+                return
+        self.cfg.add_edge(src, self.cfg.raise_exit, EXC)
+
+    def _route_return(self, src, kind=FLOW):
+        for frame in reversed(self.frames):
+            if isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(src, frame.entry, kind)
+                frame.conts.add("return")
+                return
+        self.cfg.add_edge(src, self.cfg.exit, kind)
+
+    def _route_break(self, src, kind=FLOW):
+        for frame in reversed(self.frames):
+            if isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(src, frame.entry, kind)
+                frame.conts.add("break")
+                return
+            if isinstance(frame, _LoopFrame):
+                frame.breaks.append(src)
+                return
+        self.cfg.add_edge(src, self.cfg.exit, kind)  # malformed: no loop
+
+    def _route_continue(self, src, kind=FLOW):
+        for frame in reversed(self.frames):
+            if isinstance(frame, _FinallyFrame):
+                self.cfg.add_edge(src, frame.entry, kind)
+                frame.conts.add("continue")
+                return
+            if isinstance(frame, _LoopFrame):
+                self.cfg.add_edge(src, frame.header, kind)
+                return
+        self.cfg.add_edge(src, self.cfg.exit, kind)  # malformed: no loop
+
+    # --- lowering ---------------------------------------------------
+
+    def _suite(self, stmts, frontier):
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt, frontier):
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._loop(stmt, frontier, header_raises=_contains_call(stmt.test))
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, header_raises=True)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, _TRY_TYPES):
+            return self._try(stmt, frontier)
+        if _MATCH_TYPE and isinstance(stmt, _MATCH_TYPE):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self._new(stmt)
+            self._join(frontier, node)
+            if stmt.value is not None and _contains_call(stmt.value):
+                self._route_exception(node)
+            self._route_return(node)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new(stmt)
+            self._join(frontier, node)
+            self._route_exception(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._new(stmt)
+            self._join(frontier, node)
+            self._route_break(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._new(stmt)
+            self._join(frontier, node)
+            self._route_continue(node)
+            return []
+        node = self._new(stmt)
+        self._join(frontier, node)
+        if _may_raise(stmt):
+            self._route_exception(node)
+        return [(node, FLOW)]
+
+    def _if(self, stmt, frontier):
+        node = self._new(stmt)
+        self._join(frontier, node)
+        if _contains_call(stmt.test):
+            self._route_exception(node)
+        out = self._suite(stmt.body, [(node, TRUE)])
+        if stmt.orelse:
+            out = out + self._suite(stmt.orelse, [(node, FALSE)])
+        else:
+            out = out + [(node, FALSE)]
+        return out
+
+    def _loop(self, stmt, frontier, header_raises):
+        node = self._new(stmt)
+        self._join(frontier, node)
+        if header_raises:
+            self._route_exception(node)
+        frame = _LoopFrame(node)
+        self.frames.append(frame)
+        body_out = self._suite(stmt.body, [(node, TRUE)])
+        self.frames.pop()
+        self._join(body_out, node)  # back edge
+        if stmt.orelse:
+            out = self._suite(stmt.orelse, [(node, FALSE)])
+        else:
+            out = [(node, FALSE)]
+        return out + [(b, FLOW) for b in frame.breaks]
+
+    def _with(self, stmt, frontier):
+        node = self._new(stmt)
+        self._join(frontier, node)
+        if any(_contains_call(item.context_expr) for item in stmt.items):
+            self._route_exception(node)
+        return self._suite(stmt.body, [(node, FLOW)])
+
+    def _match(self, stmt, frontier):
+        node = self._new(stmt)
+        self._join(frontier, node)
+        if _contains_call(stmt.subject):
+            self._route_exception(node)
+        out = [(node, FALSE)]  # no case matched
+        for case in stmt.cases:
+            out = out + self._suite(case.body, [(node, TRUE)])
+        return out
+
+    def _try(self, stmt, frontier):
+        fin_frame = None
+        fin_out = None
+        if stmt.finalbody:
+            marker = self.cfg.add_node(
+                "finally", None, stmt.finalbody[0].lineno)
+            # lowered in the ENCLOSING context: exceptions inside a
+            # finally suite propagate outward, not to this try's handlers
+            fin_out = self._suite(stmt.finalbody, [(marker, FLOW)])
+            fin_frame = _FinallyFrame(marker)
+            self.frames.append(fin_frame)
+
+        try_frame = None
+        if stmt.handlers:
+            handlers = []
+            catch_all = False
+            for handler in stmt.handlers:
+                handlers.append(
+                    self.cfg.add_node("handler", handler, handler.lineno))
+                catch_all = catch_all or _catches_all(handler)
+            try_frame = _TryFrame(handlers, catch_all)
+            self.frames.append(try_frame)
+
+        body_out = self._suite(stmt.body, frontier)
+        if try_frame is not None:
+            self.frames.pop()
+        if stmt.orelse:  # runs only if the body completed; handlers out of scope
+            body_out = self._suite(stmt.orelse, body_out)
+
+        normal_out = list(body_out)
+        if try_frame is not None:
+            for marker, handler in zip(try_frame.handlers, stmt.handlers):
+                normal_out.extend(self._suite(handler.body, [(marker, FLOW)]))
+
+        if fin_frame is None:
+            return normal_out
+
+        self.frames.pop()
+        if normal_out:
+            fin_frame.conts.add("normal")
+            self._join(normal_out, fin_frame.entry)
+        # resume every pending continuation from the finally's exit
+        # frontier (the union over-approximation described above)
+        out = []
+        for cont in sorted(fin_frame.conts):
+            if cont == "normal":
+                out.extend(fin_out)
+            elif cont == "exc":
+                for src, _kind in fin_out:
+                    self._route_exception(src)
+            elif cont == "return":
+                for src, kind in fin_out:
+                    self._route_return(src, kind)
+            elif cont == "break":
+                for src, kind in fin_out:
+                    self._route_break(src, kind)
+            elif cont == "continue":
+                for src, kind in fin_out:
+                    self._route_continue(src, kind)
+        return out
+
+
+def build_cfg(func):
+    """CFG for one ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``."""
+    return _Builder(func).build()
+
+
+# --- expression helpers --------------------------------------------
+
+
+def evaluated_exprs(stmt):
+    """Expressions evaluated *at* this statement's CFG node.
+
+    Compound statements own only their headers; their suites belong to
+    other nodes.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, _DEF_TYPES):
+        return list(stmt.decorator_list)
+    if isinstance(stmt, _TRY_TYPES):
+        return []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if _MATCH_TYPE and isinstance(stmt, _MATCH_TYPE):
+        return [stmt.subject]
+    out = []
+    for field in stmt._fields:
+        value = getattr(stmt, field, None)
+        if isinstance(value, ast.expr):
+            out.append(value)
+        elif isinstance(value, list):
+            out.extend(v for v in value if isinstance(v, ast.expr))
+    return out
+
+
+def _walk_same_frame(node):
+    """``ast.walk`` that stays in the current execution frame.
+
+    Lambda bodies and nested ``def``/``class`` bodies execute elsewhere;
+    their default-argument expressions and decorators evaluate here and
+    are still visited.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, ast.Lambda):
+            stack.append(current.args)  # defaults evaluate at the def site
+            continue
+        if isinstance(current, _DEF_TYPES):
+            stack.extend(current.decorator_list)
+            if isinstance(current, _FUNC_TYPES):
+                stack.append(current.args)
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _contains_call(expr):
+    return any(
+        isinstance(n, (ast.Call, ast.Await)) for n in _walk_same_frame(expr)
+    )
+
+
+def _may_raise(stmt):
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        return True
+    return any(_contains_call(e) for e in evaluated_exprs(stmt))
+
+
+def calls_at(stmt):
+    """Every ``ast.Call`` evaluated at this statement's node."""
+    calls = []
+    for expr in evaluated_exprs(stmt):
+        for node in _walk_same_frame(expr):
+            if isinstance(node, ast.Call):
+                calls.append(node)
+    return calls

@@ -133,6 +133,134 @@ def check_guarded_by(source_file):
     return findings
 
 
+@rule(
+    "guarded-by-interproc",
+    scope="file",
+    description="calling a '# holds: <lock>' helper requires actually "
+    "holding the lock at the call site (inferred through undeclared "
+    "intermediate helpers)",
+)
+def check_guarded_by_interproc(source_file):
+    """The caller side of the ``# holds:`` contract.
+
+    :func:`check_guarded_by` trusts a ``# holds: <lock>`` declaration
+    and treats the helper body as guarded; nothing checked that callers
+    *live up to* it.  This rule walks every same-class ``self.helper()``
+    call site and requires the declared locks to be held there —
+    lexically (``with self.<lock>:``), by the caller's own ``# holds:``
+    declaration, or by *inference*: an undeclared method called from
+    several places inherits the intersection of its callers' held sets
+    (narrowing fixpoint from TOP), so a helper only ever reached with
+    the lock held passes its context through without annotation.
+    ``__init__`` call sites are exempt (construction is
+    single-threaded).
+    """
+    findings = []
+    for class_node in source_file.tree.body:
+        if isinstance(class_node, ast.ClassDef):
+            findings.extend(_check_class_interproc(source_file, class_node))
+    return findings
+
+
+def _self_call_sites(method, declared):
+    """``(callee, lexically-held, line)`` for every self-call in *method*."""
+    sites = []
+
+    def visit(node, held):
+        if isinstance(node, ast.With):
+            acquired = set()
+            for item in node.items:
+                name = _self_attr(item.context_expr)
+                if name:
+                    acquired.add(name)
+                visit(item.context_expr, held)
+            for child in node.body:
+                visit(child, held | acquired)
+            return
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "self"
+            ):
+                sites.append((fn.attr, frozenset(held), node.lineno))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for statement in method.body:
+        visit(statement, set(declared))
+    return sites
+
+
+def _check_class_interproc(source_file, class_node):
+    methods = {
+        item.name: item
+        for item in class_node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    declared = {
+        name: held_locks_declared(source_file, node)
+        for name, node in methods.items()
+    }
+    if not any(declared.values()):
+        return []
+
+    call_sites = {
+        name: _self_call_sites(node, declared[name])
+        for name, node in methods.items()
+        if name != "__init__"
+    }
+
+    # infer held sets for undeclared methods: intersection over caller
+    # contexts, narrowing from TOP (None) until stable
+    inferred = {
+        name: None for name in methods
+        if not declared[name]
+        and any(callee == name
+                for sites in call_sites.values()
+                for callee, _held, _line in sites)
+    }
+    for _ in range(len(methods) + 1):
+        changed = False
+        for name in inferred:
+            incoming = None
+            for caller, sites in call_sites.items():
+                effective_caller = declared[caller] | (
+                    inferred.get(caller) or set())
+                for callee, held, _line in sites:
+                    if callee != name:
+                        continue
+                    at_site = held | effective_caller
+                    incoming = at_site if incoming is None \
+                        else incoming & at_site
+            incoming = set() if incoming is None else incoming
+            if inferred[name] is None or incoming != inferred[name]:
+                if inferred[name] is None or incoming < inferred[name]:
+                    inferred[name] = incoming
+                    changed = True
+        if not changed:
+            break
+
+    findings = []
+    for caller, sites in call_sites.items():
+        effective_caller = declared[caller] | (inferred.get(caller) or set())
+        for callee, held, line in sites:
+            required = declared.get(callee) or set()
+            missing = required - held - effective_caller
+            if missing:
+                findings.append(Finding(
+                    "guarded-by-interproc",
+                    source_file.relative,
+                    line,
+                    f"{class_node.name}.{caller} calls {callee} "
+                    f"(# holds: {', '.join(sorted(required))}) without "
+                    f"holding {', '.join(sorted(missing))}",
+                    symbol=f"{class_node.name}.{caller}->{callee}",
+                ))
+    return findings
+
+
 def _check_method(source_file, class_node, method, fields, held):
     findings = []
 

@@ -199,11 +199,18 @@ def collect_sources(root, paths):
 
 
 class Report:
-    """The outcome of one lint run."""
+    """The outcome of one lint run.
 
-    def __init__(self, findings, rules_run):
+    ``dead_baseline`` lists baseline fingerprints that no current
+    finding matches — stale entries that would silently mask a future
+    regression; they fail the run like new findings do (only populated
+    on full-tree runs, see :func:`lint_paths`).
+    """
+
+    def __init__(self, findings, rules_run, dead_baseline=()):
         self.findings = findings
         self.rules_run = rules_run
+        self.dead_baseline = sorted(dead_baseline)
 
     @property
     def new_findings(self):
@@ -211,7 +218,7 @@ class Report:
 
     @property
     def exit_code(self):
-        return 1 if self.new_findings else 0
+        return 1 if self.new_findings or self.dead_baseline else 0
 
     def as_dict(self):
         return {
@@ -219,17 +226,24 @@ class Report:
             "findings": [finding.as_dict() for finding in self.findings],
             "new": len(self.new_findings),
             "baselined": len(self.findings) - len(self.new_findings),
+            "dead_baseline": self.dead_baseline,
         }
 
     def render_text(self):
         lines = [finding.render() for finding in self.findings]
+        for fingerprint in self.dead_baseline:
+            lines.append(
+                f"stale baseline entry (matches no finding): {fingerprint} "
+                f"— remove it from the baseline file"
+            )
         new = len(self.new_findings)
         baselined = len(self.findings) - new
         summary = (
             f"reprolint: {new} new finding(s), {baselined} baselined, "
+            f"{len(self.dead_baseline)} stale baseline entr(ies), "
             f"{len(self.rules_run)} rule(s) run"
         )
-        if not self.findings:
+        if not lines:
             return f"reprolint OK — no findings ({len(self.rules_run)} rule(s) run)"
         return "\n".join(lines + ["", summary])
 
@@ -249,12 +263,18 @@ def write_baseline(path, findings):
     return fingerprints
 
 
-def lint_paths(root, paths, select=None, disable=None, baseline=None):
+def lint_paths(root, paths, select=None, disable=None, baseline=None,
+               file_filter=None, check_baseline=False):
     """Run the registered rules over *paths*; returns a :class:`Report`.
 
     :param select: iterable of rule names to run (default: all).
     :param disable: iterable of rule names to skip.
     :param baseline: set of fingerprints treated as pre-existing.
+    :param file_filter: when given (a set of repo-relative paths), file
+        rules only check matching files; project rules still see the
+        whole tree (their invariants are cross-file by nature).
+    :param check_baseline: also report baseline fingerprints matching
+        no current finding (only sound on full, unfiltered runs).
     """
     rules = all_rules()
     if select:
@@ -270,6 +290,9 @@ def lint_paths(root, paths, select=None, disable=None, baseline=None):
     for checker in rules.values():
         if checker.scope == "file":
             for source_file in files:
+                if file_filter is not None \
+                        and source_file.relative not in file_filter:
+                    continue
                 for finding in checker.check(source_file):
                     if not source_file.suppressed(
                         checker.name, finding.line, finding.line
@@ -287,4 +310,7 @@ def lint_paths(root, paths, select=None, disable=None, baseline=None):
     for finding in findings:
         finding.baselined = finding.fingerprint() in baseline
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return Report(findings, set(rules))
+    dead = ()
+    if check_baseline:
+        dead = baseline - {finding.fingerprint() for finding in findings}
+    return Report(findings, set(rules), dead_baseline=dead)

@@ -1,0 +1,95 @@
+"""Small path/dataflow queries over :mod:`repro.analysis.cfg` graphs.
+
+Three primitives cover what the flow-sensitive rules need:
+
+* :func:`exists_path` — may-query: is there *some* path from a node to a
+  target, under edge/node filters?  (e.g. "can this ``wal.append``
+  reach function exit without passing a commit point?")
+* :func:`reachable` — the node set some start reaches;
+* :func:`solve_forward` — a forward may-analysis with frozenset facts,
+  union join and an edge-kind-sensitive transfer, iterated to fixpoint
+  with a worklist.  Facts grow monotonically over a finite universe, so
+  termination is structural.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import EXC
+
+
+def exists_path(cfg, start, is_target, *, blocked=None, edge_ok=None,
+                include_start_exc=False):
+    """True when some path from *start* reaches a node with ``is_target``.
+
+    The walk begins at *start*'s successors (*start* itself is never
+    tested); *start*'s own exception edges are skipped unless
+    ``include_start_exc``.  Nodes where ``blocked(node)`` holds are
+    neither matched nor traversed through; edges failing
+    ``edge_ok(src, dst, kind)`` are not taken.
+    """
+    stack = []
+    for dst, kind in cfg.succ[start]:
+        if kind == EXC and not include_start_exc:
+            continue
+        if edge_ok is not None and not edge_ok(start, dst, kind):
+            continue
+        stack.append(dst)
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if blocked is not None and blocked(node):
+            continue
+        if is_target(node):
+            return True
+        for dst, kind in cfg.succ[node]:
+            if edge_ok is not None and not edge_ok(node, dst, kind):
+                continue
+            stack.append(dst)
+    return False
+
+
+def reachable(cfg, start, *, edge_ok=None):
+    """Every node index reachable from *start* (inclusive)."""
+    seen = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for dst, kind in cfg.succ[node]:
+            if edge_ok is not None and not edge_ok(node, dst, kind):
+                continue
+            stack.append(dst)
+    return seen
+
+
+def solve_forward(cfg, init, transfer, *, edge_ok=None):
+    """Forward may-analysis: ``{node -> frozenset fact}`` at node entry.
+
+    ``transfer(node, fact, out_kind)`` produces the fact propagated
+    along each outgoing edge — edge-kind-sensitive, so effects can
+    differ on exception edges (an acquisition that raised never bound
+    its resource).  Join is union; unreached nodes are absent from the
+    result.
+    """
+    facts = {cfg.entry: frozenset(init)}
+    work = [cfg.entry]
+    while work:
+        node = work.pop()
+        fact = facts.get(node, frozenset())
+        for dst, kind in cfg.succ[node]:
+            if edge_ok is not None and not edge_ok(node, dst, kind):
+                continue
+            out = transfer(node, fact, kind)
+            old = facts.get(dst)
+            if old is None:
+                facts[dst] = frozenset(out)
+                work.append(dst)
+            elif not out <= old:
+                facts[dst] = old | out
+                work.append(dst)
+    return facts

@@ -74,8 +74,15 @@ class _Function:
         self.may_acquire = set()
 
 
-class _Package:
-    """Package-wide indexes the extractor resolves against."""
+class Package:
+    """Package-wide indexes the extractor resolves against.
+
+    Also the project call-graph substrate for the flow-sensitive rules
+    (:mod:`repro.analysis.walflow`, the interprocedural guarded-by
+    checker): ``functions`` maps ``Class.method`` / ``relpath:func``
+    keys to :class:`_Function` entries and :meth:`resolve_call` performs
+    the conservative name resolution described in the module docstring.
+    """
 
     def __init__(self, context):
         self.functions = {}        # key -> _Function
@@ -183,6 +190,9 @@ class _Package:
                     if isinstance(target, ast.Name) and target.id == name:
                         return f"{function.source_file.relative}:{name}"
         return None
+
+
+_Package = Package  # historical name, kept for callers predating the rename
 
 
 def _self_attr(node):

@@ -156,28 +156,32 @@ class SQLGraphClient:
         sock = socket.create_connection(
             (self.host, self.port), timeout=self.connect_timeout_s
         )
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        assembler = FrameAssembler()
+        # one ownership boundary: until the handshake fully succeeds,
+        # *any* failure — transport, timeout, a bad reply — closes the
+        # socket before the exception escapes
         try:
-            send_message(sock, {
-                "op": "hello",
-                "protocol": PROTOCOL_VERSION,
-                "client": self.client_name,
-            })
-            reply = recv_message(sock, assembler)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            assembler = FrameAssembler()
+            try:
+                send_message(sock, {
+                    "op": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "client": self.client_name,
+                })
+                reply = recv_message(sock, assembler)
+            except (OSError, ConnectionClosedError, FrameError) as exc:
+                raise ClientError(f"handshake failed: {exc}") from None
             if reply is None:
                 raise ClientError("handshake timed out")
-        except (OSError, ConnectionClosedError, FrameError) as exc:
+            if reply.get("ok") is False:
+                raise WireError.from_payload(reply.get("error", {}))
+            if reply.get("op") != "hello" or reply.get("protocol") != \
+                    PROTOCOL_VERSION:
+                raise ClientError(f"unexpected handshake reply: {reply!r}")
+            sock.settimeout(self.request_timeout_s)
+        except BaseException:
             sock.close()
-            raise ClientError(f"handshake failed: {exc}") from None
-        if reply.get("ok") is False:
-            sock.close()
-            raise WireError.from_payload(reply.get("error", {}))
-        if reply.get("op") != "hello" or reply.get("protocol") != \
-                PROTOCOL_VERSION:
-            sock.close()
-            raise ClientError(f"unexpected handshake reply: {reply!r}")
-        sock.settimeout(self.request_timeout_s)
+            raise
         self._sock = sock
         self._assembler = assembler
         self.session_id = reply.get("session")

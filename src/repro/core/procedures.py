@@ -119,8 +119,10 @@ class GraphProcedures:
                 break
         finally:
             LockManager.release(token)
-        if updated:
-            self._commit()
+        # unconditional: a commit point with nothing pending is a no-op,
+        # and every path that did log a record must reach one before the
+        # caller is acked (wal-commit-reachability)
+        self._commit()
         return updated
 
     def delete_vertex(self, vertex_id):
@@ -155,8 +157,7 @@ class GraphProcedures:
                     ea.delete(rid)
         finally:
             LockManager.release(token)
-        if found:
-            self._commit()
+        self._commit()
         return found
 
     # ------------------------------------------------------------------
@@ -269,8 +270,7 @@ class GraphProcedures:
                 break
         finally:
             LockManager.release(token)
-        if updated:
-            self._commit()
+        self._commit()
         return updated
 
     def delete_edge(self, edge_id):
@@ -301,10 +301,8 @@ class GraphProcedures:
                 )
         finally:
             LockManager.release(token)
-        if row is None:
-            return False
         self._commit()
-        return True
+        return row is not None
 
     def _adjacency_delete(self, primary, secondary, coloring, vid, eid, label):
         column = coloring.column_for(label)

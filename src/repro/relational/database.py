@@ -455,7 +455,10 @@ class Database:
             return self._dispatch(statement, transaction, params)
         token = self.locks.acquire(read_tables, write_tables)
         try:
-            result = self._dispatch(statement, transaction, params)
+            # the commit point below covers every statement kind that
+            # appends; the only dispatches skipping it (SELECT/EXPLAIN)
+            # log nothing
+            result = self._dispatch(statement, transaction, params)  # reprolint: disable=wal-commit-reachability -- commit point below
         finally:
             LockManager.release(token)
         # Autocommit: the statement is the transaction, so its WAL records

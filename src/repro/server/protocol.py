@@ -111,6 +111,29 @@ RETRYABLE_CODES = frozenset(
     {SERVER_BUSY, SHUTTING_DOWN, LOCK_TIMEOUT, STATEMENT_TIMEOUT}
 )
 
+#: every other code: retrying the same request verbatim cannot succeed
+#: (bad input, schema problems) or may duplicate an effect the server
+#: might already have applied (INTERNAL_ERROR mid-mutation).  The two
+#: sets partition the code space; ``error-code-conformance`` checks that
+#: no code is left unclassified and none appears in both.
+NON_RETRYABLE_CODES = frozenset(
+    {
+        PROTOCOL_ERROR,
+        UNSUPPORTED_PROTOCOL,
+        BAD_REQUEST,
+        SESSION_IDLE,
+        SQL_SYNTAX,
+        BIND_ERROR,
+        TYPE_MISMATCH,
+        CONSTRAINT_VIOLATION,
+        CATALOG_ERROR,
+        TRANSACTION_ERROR,
+        GREMLIN_ERROR,
+        INTERNAL_ERROR,
+        SHARD_UNAVAILABLE,
+    }
+)
+
 #: engine exception type -> wire error code (order matters: subclasses
 #: before base classes)
 _EXCEPTION_CODES = (
@@ -145,12 +168,20 @@ def code_for_exception(exc):
     return INTERNAL_ERROR
 
 
-def error_payload(code, message):
-    """The ``error`` object of a failure response."""
+def error_payload(code, message, retryable=None):
+    """The ``error`` object of a failure response.
+
+    ``retryable`` defaults to the code's static classification; a caller
+    that knows more about this *specific* failure (e.g. a coordinator
+    that lost a shard mid-way through an idempotent read fan-out) may
+    override it.
+    """
+    if retryable is None:
+        retryable = code in RETRYABLE_CODES
     return {
         "code": code,
         "message": message,
-        "retryable": code in RETRYABLE_CODES,
+        "retryable": retryable,
     }
 
 

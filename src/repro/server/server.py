@@ -452,9 +452,15 @@ class SQLGraphServer:
             response = self._error_response(session, request_id,
                                             STATEMENT_TIMEOUT, str(exc))
         except Exception as exc:  # reprolint: disable=broad-except -- wire boundary: every failure maps to a typed error frame, never a dropped connection
+            # a relayed WireError (e.g. a coordinator's per-request
+            # SHARD_UNAVAILABLE) carries its own retryability verdict;
+            # recomputing from the static table would flatten it
+            retryable = (
+                exc.retryable if isinstance(exc, protocol.WireError) else None
+            )
             response = self._error_response(
                 session, request_id, code_for_exception(exc),
-                f"{type(exc).__name__}: {exc}",
+                f"{type(exc).__name__}: {exc}", retryable=retryable,
             )
         elapsed = perf_counter() - started
         with self._counters_guard:
@@ -465,12 +471,13 @@ class SQLGraphServer:
             ENGINE_METRICS.histogram("server.request_seconds").observe(elapsed)
         return response
 
-    def _error_response(self, session, request_id, code, message):
+    def _error_response(self, session, request_id, code, message,
+                        retryable=None):
         session.errors += 1
         self._count("errors_returned")
         return {
             "id": request_id, "ok": False,
-            "error": error_payload(code, message),
+            "error": error_payload(code, message, retryable=retryable),
         }
 
     # -- ops ------------------------------------------------------------

@@ -30,7 +30,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 
-from repro.client import ClientError
+from repro.client import CRUD_READ_ACTIONS, ClientError
 from repro.graph.blueprints import Direction
 from repro.gremlin import GremlinInterpreter, parse_gremlin
 from repro.gremlin import pipes as p
@@ -41,13 +41,21 @@ from repro.sharding.pool import ShardClientPool
 
 
 class ShardUnavailableError(WireError):
-    """A worker shard could not be reached (down or mid-restart)."""
+    """A worker shard could not be reached (down or mid-restart).
 
-    def __init__(self, shard_index, address, cause):
+    ``retryable`` is per-request, not per-code: a lost shard during an
+    idempotent read fan-out left the cluster unchanged (safe to re-send
+    once the shard restarts), while the same loss mid-mutation may have
+    landed the write before the ack — the static classification of
+    ``SHARD_UNAVAILABLE`` stays non-retryable and reads opt in.
+    """
+
+    def __init__(self, shard_index, address, cause, retryable=False):
         super().__init__(
             SHARD_UNAVAILABLE,
             f"shard {shard_index} at {address[0]}:{address[1]} "
             f"unavailable: {cause}",
+            retryable=retryable,
         )
         self.shard_index = shard_index
 
@@ -95,19 +103,22 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # fan-out primitives
     # ------------------------------------------------------------------
-    def call(self, index, fn):
+    def call(self, index, fn, retryable=False):
         """Run *fn(client)* against one shard, translating transport
-        failures into :class:`ShardUnavailableError`."""
+        failures into :class:`ShardUnavailableError`.
+
+        ``retryable`` declares whether *this request* is idempotent, so
+        a shard loss surfaces with the right client-retry verdict."""
         pool = self.pools[index]
         try:
             with pool.client() as client:
                 return fn(client)
         except (ClientError, OSError) as exc:
             raise ShardUnavailableError(
-                index, (pool.host, pool.port), exc
+                index, (pool.host, pool.port), exc, retryable=retryable
             ) from None
 
-    def scatter(self, work):
+    def scatter(self, work, retryable=False):
         """Run ``{shard_index: fn(client)}`` in parallel threads.
 
         Returns ``{shard_index: result}``.  The first failure is
@@ -118,9 +129,11 @@ class ShardRouter:
             return {}
         if len(work) == 1:
             ((index, fn),) = work.items()
-            return {index: self.call(index, fn)}
+            return {index: self.call(index, fn, retryable=retryable)}
         futures = {
-            index: self._executor.submit(self.call, index, fn)
+            index: self._executor.submit(
+                self.call, index, fn, retryable=retryable
+            )
             for index, fn in work.items()
         }
         results, first_error = {}, None
@@ -134,8 +147,10 @@ class ShardRouter:
             raise first_error
         return results
 
-    def broadcast(self, fn):
-        return self.scatter({i: fn for i in range(self.num_shards)})
+    def broadcast(self, fn, retryable=False):
+        return self.scatter(
+            {i: fn for i in range(self.num_shards)}, retryable=retryable
+        )
 
     # ------------------------------------------------------------------
     # batched graph primitives
@@ -159,11 +174,11 @@ class ShardRouter:
                 index: (lambda c, batch=batch:
                         c.hop("out", batch, labels))
                 for index, batch in groups.items()
-            })
+            }, retryable=True)
             key = 1  # outv
         elif token == "in":
             results = self.broadcast(
-                lambda c: c.hop("in", vids, labels)
+                lambda c: c.hop("in", vids, labels), retryable=True
             )
             key = 2  # inv
         else:
@@ -184,7 +199,7 @@ class ShardRouter:
         results = self.scatter({
             index: (lambda c, batch=batch: c.fetch(vids=batch))
             for index, batch in groups.items()
-        })
+        }, retryable=True)
         found = {}
         for payload in results.values():
             for vid, attr in payload.get("vertices", ()):
@@ -198,7 +213,8 @@ class ShardRouter:
         eids = [e for e in set(eids) if isinstance(e, int)]
         if not eids:
             return {}
-        results = self.broadcast(lambda c: c.fetch(eids=eids))
+        results = self.broadcast(lambda c: c.fetch(eids=eids),
+                                 retryable=True)
         found = {}
         for payload in results.values():
             for row in payload.get("edges", ()):
@@ -207,37 +223,45 @@ class ShardRouter:
 
     def all_vertices(self):
         """Every live VA row, concatenated in shard order."""
-        results = self.broadcast(lambda c: c.fetch(all="vertices"))
+        results = self.broadcast(lambda c: c.fetch(all="vertices"),
+                                 retryable=True)
         rows = []
         for index in sorted(results):
             rows.extend(tuple(row) for row in results[index]["vertices"])
         return rows
 
     def all_edges(self):
-        results = self.broadcast(lambda c: c.fetch(all="edges"))
+        results = self.broadcast(lambda c: c.fetch(all="edges"),
+                                 retryable=True)
         rows = []
         for index in sorted(results):
             rows.extend(tuple(row) for row in results[index]["edges"])
         return rows
 
     def counts(self):
-        results = self.broadcast(lambda c: c.fetch(all="counts"))
+        results = self.broadcast(lambda c: c.fetch(all="counts"),
+                                 retryable=True)
         vertices = sum(r["counts"]["vertices"] for r in results.values())
         edges = sum(r["counts"]["edges"] for r in results.values())
         return vertices, edges
 
     def max_ids(self):
-        results = self.broadcast(lambda c: c.fetch(all="max_ids"))
+        results = self.broadcast(lambda c: c.fetch(all="max_ids"),
+                                 retryable=True)
         max_vid = max(r["max_ids"]["vid"] for r in results.values())
         max_eid = max(r["max_ids"]["eid"] for r in results.values())
         return max_vid, max_eid
 
     def crud(self, index, action, **args):
-        return self.call(index, lambda c: c.crud(action, **args))
+        return self.call(
+            index, lambda c: c.crud(action, **args),
+            retryable=action in CRUD_READ_ACTIONS,
+        )
 
     def run_on(self, index, gremlin_text):
-        """Forward a whole single-shard pipeline."""
-        return self.call(index, lambda c: c.run(gremlin_text))
+        """Forward a whole single-shard pipeline (a read)."""
+        return self.call(index, lambda c: c.run(gremlin_text),
+                         retryable=True)
 
     def health(self):
         """Per-shard liveness + serving stats (the ``:shards`` report)."""
@@ -249,7 +273,8 @@ class ShardRouter:
                 "ok": False,
             }
             try:
-                stats = self.call(index, lambda c: c.stats())
+                stats = self.call(index, lambda c: c.stats(),
+                                  retryable=True)
                 server = stats.get("server", {})
                 entry.update(
                     ok=True,

@@ -1,0 +1,42 @@
+"""Regression fixture: the post-fix twin of ``pr9_missing_commit.py``.
+
+Identical procedures, but every path that may have logged a WAL record
+reaches an unconditional commit point before returning — the shape the
+live :class:`repro.core.procedures.GraphProcedures` has after PR 10.
+``wal-commit-reachability`` must report nothing here; a false positive
+on this file fails the CI analysis job just as loudly as a false
+negative on the broken twin.
+"""
+
+
+class FixedProcedures:
+    def __init__(self, database):
+        self.database = database
+
+    def _commit(self):
+        wal = self.database.wal
+        if wal is None or wal.closed:
+            return
+        wal.commit_point()
+
+    def add_vertex(self, vertex_id, properties):
+        table = self.database.table("VA")
+        table.insert((vertex_id, dict(properties or {})), coerce=False)
+        self._commit()
+        return vertex_id
+
+    def update_vertex(self, vertex_id, properties):
+        table = self.database.table("VA")
+        updated = False
+        for rid in table.scan():
+            row = table.get(rid)
+            if row is None:
+                continue
+            attrs = dict(row[1] or {})
+            attrs.update(properties)
+            table.update(rid, (vertex_id, attrs), coerce=False)
+            updated = True
+            break
+        # unconditional: a commit point with nothing pending is a no-op
+        self._commit()
+        return updated

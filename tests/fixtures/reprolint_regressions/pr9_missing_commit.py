@@ -1,0 +1,50 @@
+"""Regression fixture: the PR-9 stored-procedure durability bug, frozen.
+
+This is the shape ``GraphProcedures`` shipped with before the fix: CRUD
+procedures that log WAL records through :class:`HeapTable` mutations but
+reach the autocommit commit point only conditionally (or never).  A
+``kill -9`` after the caller's acknowledgement could then lose the
+acknowledged write — the exact bug the ``wal-commit-reachability`` rule
+exists to catch.
+
+``tests/test_reprolint_regressions.py`` (run in the CI analysis job)
+asserts reprolint flags every procedure below; if the rule ever stops
+firing here, the analysis job fails.  Do NOT "fix" this file.
+"""
+
+
+class BrokenProcedures:
+    """The pre-fix GraphProcedures shape: durability holes included."""
+
+    def __init__(self, database):
+        self.database = database
+
+    def _commit(self):
+        wal = self.database.wal
+        if wal is None or wal.closed:
+            return
+        wal.commit_point()
+
+    def add_vertex(self, vertex_id, properties):
+        # BUG: no commit point at all before the ack
+        table = self.database.table("VA")
+        table.insert((vertex_id, dict(properties or {})), coerce=False)
+        return vertex_id
+
+    def update_vertex(self, vertex_id, properties):
+        # BUG: the not-found path skips the commit point, but an earlier
+        # loop iteration may already have logged a record
+        table = self.database.table("VA")
+        updated = False
+        for rid in table.scan():
+            row = table.get(rid)
+            if row is None:
+                continue
+            attrs = dict(row[1] or {})
+            attrs.update(properties)
+            table.update(rid, (vertex_id, attrs), coerce=False)
+            updated = True
+            break
+        if updated:
+            self._commit()
+        return updated

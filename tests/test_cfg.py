@@ -1,0 +1,328 @@
+"""CFG builder tests on adversarial control flow (PR 10 tentpole).
+
+Every test asserts the *complete* edge set of a small function against
+the expected `(src, dst, kind)` triples, using the stable
+:meth:`~repro.analysis.cfg.Node.describe` labels — so any lowering
+regression (a missing exception edge, a wrong branch kind, a finally
+continuation dropped) shows up as a set diff, not a flaky traversal.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    EXC,
+    FALSE,
+    FLOW,
+    TRUE,
+    build_cfg,
+    calls_at,
+    evaluated_exprs,
+)
+from repro.analysis.dataflow import exists_path, reachable, solve_forward
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def node_named(cfg, label):
+    for node in cfg.nodes:
+        if node.describe() == label:
+            return node.index
+    raise AssertionError(f"no node labelled {label!r}")
+
+
+class TestStraightLineAndBranches:
+    def test_straight_line(self):
+        cfg = cfg_of("""\
+            def f():
+                a = 1
+                return a
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "Assign@2", FLOW),
+            ("Assign@2", "Return@3", FLOW),
+            ("Return@3", "<exit>", FLOW),
+        }
+
+    def test_if_else_branch_kinds(self):
+        cfg = cfg_of("""\
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "If@2", FLOW),
+            ("If@2", "Assign@3", TRUE),
+            ("If@2", "Assign@5", FALSE),
+            ("Assign@3", "Return@6", FLOW),
+            ("Assign@5", "Return@6", FLOW),
+            ("Return@6", "<exit>", FLOW),
+        }
+
+    def test_while_else_with_break(self):
+        cfg = cfg_of("""\
+            def f():
+                while cond():
+                    if go():
+                        break
+                    step()
+                else:
+                    other()
+                return 0
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "While@2", FLOW),
+            ("While@2", "<raise>", EXC),  # cond() may raise
+            ("While@2", "If@3", TRUE),
+            ("If@3", "<raise>", EXC),
+            ("If@3", "Break@4", TRUE),
+            ("If@3", "Expr@5", FALSE),
+            ("Expr@5", "<raise>", EXC),
+            ("Expr@5", "While@2", FLOW),  # back edge
+            ("While@2", "Expr@7", FALSE),  # else: loop exhausted
+            ("Expr@7", "<raise>", EXC),
+            # break skips the else clause; normal exhaustion runs it
+            ("Break@4", "Return@8", FLOW),
+            ("Expr@7", "Return@8", FLOW),
+            ("Return@8", "<exit>", FLOW),
+        }
+
+    def test_with_inside_for_loop(self):
+        cfg = cfg_of("""\
+            def f(paths):
+                for p in paths:
+                    with open(p) as fh:
+                        use(fh)
+                return None
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "For@2", FLOW),
+            ("For@2", "<raise>", EXC),  # iteration protocol itself calls
+            ("For@2", "With@3", TRUE),
+            ("With@3", "<raise>", EXC),
+            ("With@3", "Expr@4", FLOW),
+            ("Expr@4", "<raise>", EXC),
+            ("Expr@4", "For@2", FLOW),
+            ("For@2", "Return@5", FALSE),
+            ("Return@5", "<exit>", FLOW),
+        }
+
+
+class TestTryLowering:
+    def test_try_except_else(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                else:
+                    ok()
+                return 1
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "Expr@3", FLOW),
+            # ValueError is not a catch-all: the exception also escapes
+            ("Expr@3", "ExceptHandler@4", EXC),
+            ("Expr@3", "<raise>", EXC),
+            # else runs only after a clean body, outside the handler scope
+            ("Expr@3", "Expr@7", FLOW),
+            ("Expr@7", "<raise>", EXC),
+            ("ExceptHandler@4", "Expr@5", FLOW),
+            ("Expr@5", "<raise>", EXC),
+            ("Expr@7", "Return@8", FLOW),
+            ("Expr@5", "Return@8", FLOW),
+            ("Return@8", "<exit>", FLOW),
+        }
+
+    def test_catch_all_swallows_and_bare_raise_reraises(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    log()
+                    raise
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "Expr@3", FLOW),
+            ("Expr@3", "ExceptHandler@4", EXC),  # and nowhere else: caught
+            ("Expr@3", "<exit>", FLOW),
+            ("ExceptHandler@4", "Expr@5", FLOW),
+            ("Expr@5", "<raise>", EXC),
+            ("Expr@5", "Raise@6", FLOW),
+            ("Raise@6", "<raise>", EXC),
+        }
+        # the only way to the raise-exit runs through the handler
+        raise_preds = {
+            cfg.nodes[src].describe() for src, _ in cfg.pred[cfg.raise_exit]
+        }
+        assert raise_preds == {"Expr@5", "Raise@6"}
+
+    def test_nested_try_finally_with_return(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    try:
+                        return work()
+                    finally:
+                        inner()
+                finally:
+                    outer()
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "Return@4", FLOW),
+            # both the return and a work() exception drain through the
+            # inner finally, then the outer one, in order
+            ("Return@4", "<finally@6>", FLOW),
+            ("Return@4", "<finally@6>", EXC),
+            ("<finally@6>", "Expr@6", FLOW),
+            ("Expr@6", "<finally@8>", FLOW),
+            ("Expr@6", "<finally@8>", EXC),
+            ("<finally@8>", "Expr@8", FLOW),
+            ("Expr@8", "<exit>", FLOW),  # the pending return resumes
+            ("Expr@8", "<raise>", EXC),  # a finally's own raise escapes
+        }
+        # every entry->exit path passes both finally suites
+        for marker in ("<finally@6>", "<finally@8>"):
+            blocked_index = node_named(cfg, marker)
+            assert not exists_path(
+                cfg, cfg.entry, lambda n: n == cfg.exit,
+                blocked=lambda n, b=blocked_index: n == b,
+            )
+
+    def test_finally_return_swallows_exception(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    work()
+                finally:
+                    return 0
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "Expr@3", FLOW),
+            ("Expr@3", "<finally@5>", FLOW),
+            ("Expr@3", "<finally@5>", EXC),
+            ("<finally@5>", "Return@5", FLOW),
+            ("Return@5", "<exit>", FLOW),
+        }
+        # the work() exception cannot escape: the finally returns
+        assert cfg.pred[cfg.raise_exit] == []
+
+    def test_continue_inside_try_finally_inside_loop(self):
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    try:
+                        if bad(item):
+                            continue
+                        work(item)
+                    finally:
+                        release(item)
+                done()
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "For@2", FLOW),
+            ("For@2", "<raise>", EXC),
+            ("For@2", "If@4", TRUE),
+            ("If@4", "<finally@8>", EXC),
+            ("If@4", "Continue@5", TRUE),
+            ("Continue@5", "<finally@8>", FLOW),
+            ("If@4", "Expr@6", FALSE),
+            ("Expr@6", "<finally@8>", EXC),
+            ("Expr@6", "<finally@8>", FLOW),
+            ("<finally@8>", "Expr@8", FLOW),
+            ("Expr@8", "<raise>", EXC),
+            # continue and normal completion both resume at the header
+            ("Expr@8", "For@2", FLOW),
+            ("For@2", "Expr@9", FALSE),
+            ("Expr@9", "<raise>", EXC),
+            ("Expr@9", "<exit>", FLOW),
+        }
+
+
+class TestNestedFramesStayOpaque:
+    def test_comprehension_lambda_and_nested_def_are_single_nodes(self):
+        cfg = cfg_of("""\
+            def f(rows):
+                sizes = [len(r) for r in rows]
+                key = lambda r: expensive(r)
+                def helper():
+                    return risky()
+                return sorted(rows, key=key)
+            """)
+        assert cfg.edge_set() == {
+            ("<entry>", "Assign@2", FLOW),
+            ("Assign@2", "<raise>", EXC),  # comprehension evaluates here
+            ("Assign@2", "Assign@3", FLOW),
+            # the lambda body does NOT evaluate here: no exception edge
+            ("Assign@3", "FunctionDef@4", FLOW),
+            ("FunctionDef@4", "Return@6", FLOW),
+            ("Return@6", "<raise>", EXC),
+            ("Return@6", "<exit>", FLOW),
+        }
+        # risky() inside helper never becomes a node of THIS cfg
+        labels = {node.describe() for node in cfg.nodes}
+        assert "Return@5" not in labels
+
+    def test_calls_at_skips_nested_frames(self):
+        tree = ast.parse(textwrap.dedent("""\
+            def f():
+                key = lambda r: expensive(r)
+            """))
+        stmt = tree.body[0].body[0]
+        assert calls_at(stmt) == []
+        assert len(evaluated_exprs(stmt)) == 2  # target + lambda value
+
+
+class TestDataflowPrimitives:
+    def test_exists_path_skips_start_exc_edges_by_default(self):
+        cfg = cfg_of("""\
+            def f():
+                work()
+            """)
+        start = node_named(cfg, "Expr@2")
+        assert not exists_path(
+            cfg, start, lambda n: n == cfg.raise_exit
+        )
+        assert exists_path(
+            cfg, start, lambda n: n == cfg.raise_exit,
+            include_start_exc=True,
+        )
+
+    def test_reachable_honours_edge_filter(self):
+        cfg = cfg_of("""\
+            def f(x):
+                if x:
+                    work()
+                return 1
+            """)
+        no_true = reachable(
+            cfg, cfg.entry, edge_ok=lambda s, d, k: k != TRUE
+        )
+        assert node_named(cfg, "Expr@3") not in no_true
+        assert node_named(cfg, "Return@4") in no_true
+
+    def test_solve_forward_is_edge_kind_sensitive(self):
+        cfg = cfg_of("""\
+            def f():
+                r = acquire()
+                return r
+            """)
+        acquisition = node_named(cfg, "Assign@2")
+
+        def transfer(node, fact, kind):
+            # the binding is live only if the acquisition did not raise
+            if node == acquisition and kind != EXC:
+                return fact | {"r"}
+            return fact
+
+        facts = solve_forward(cfg, set(), transfer)
+        assert facts[cfg.exit] == frozenset({"r"})
+        assert facts[cfg.raise_exit] == frozenset()

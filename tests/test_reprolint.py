@@ -436,3 +436,335 @@ def test_driver_fails_on_injected_violation(tmp_path):
     )
     assert result.returncode == 1
     assert "guarded-by" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# wal-commit-reachability (flow-sensitive, PR 10)
+# ---------------------------------------------------------------------------
+
+WALFLOW_BAD = """
+    class Procedures:
+        def __init__(self, wal):
+            self.wal = wal
+
+        def add_thing(self, record):
+            self.wal.append(record)
+            return record
+"""
+
+WALFLOW_GOOD = """
+    class Procedures:
+        def __init__(self, wal):
+            self.wal = wal
+
+        def add_thing(self, record):
+            self.wal.append(record)
+            self.wal.commit_point()
+            return record
+"""
+
+WALFLOW_CONDITIONAL = """
+    class Procedures:
+        def __init__(self, wal):
+            self.wal = wal
+
+        def add_thing(self, record, flush):
+            self.wal.append(record)
+            if flush:
+                self.wal.commit_point()
+            return record
+"""
+
+WALFLOW_VIA_HELPER = """
+    class Procedures:
+        def __init__(self, wal):
+            self.wal = wal
+
+        def add_thing(self, record):
+            self.wal.append(record)
+            self._commit()
+            return record
+
+        def _commit(self):
+            self.wal.commit_point()
+"""
+
+
+def test_walflow_flags_append_without_commit(tmp_path):
+    findings = lint_snippet(tmp_path, WALFLOW_BAD,
+                            ["wal-commit-reachability"])
+    assert rules_of(findings) == ["wal-commit-reachability"]
+    assert "Procedures.add_thing" in findings[0].message
+
+
+def test_walflow_accepts_unconditional_commit(tmp_path):
+    assert lint_snippet(tmp_path, WALFLOW_GOOD,
+                        ["wal-commit-reachability"]) == []
+
+
+def test_walflow_flags_commit_on_one_branch_only(tmp_path):
+    findings = lint_snippet(tmp_path, WALFLOW_CONDITIONAL,
+                            ["wal-commit-reachability"])
+    assert rules_of(findings) == ["wal-commit-reachability"]
+
+
+def test_walflow_follows_commit_through_helper(tmp_path):
+    assert lint_snippet(tmp_path, WALFLOW_VIA_HELPER,
+                        ["wal-commit-reachability"]) == []
+
+
+# ---------------------------------------------------------------------------
+# release-on-all-paths
+# ---------------------------------------------------------------------------
+
+RELEASE_BAD = """
+    class Pool:
+        def serve(self):
+            token = self.locks.acquire()
+            self.work()
+            token.release()
+"""
+
+RELEASE_GOOD = """
+    class Pool:
+        def serve(self):
+            token = self.locks.acquire()
+            try:
+                self.work()
+            finally:
+                token.release()
+"""
+
+
+def test_release_flags_leak_on_exception_path(tmp_path):
+    findings = lint_snippet(tmp_path, RELEASE_BAD, ["release-on-all-paths"])
+    assert rules_of(findings) == ["release-on-all-paths"]
+    assert "token" in findings[0].message
+
+
+def test_release_accepts_try_finally(tmp_path):
+    assert lint_snippet(tmp_path, RELEASE_GOOD,
+                        ["release-on-all-paths"]) == []
+
+
+# ---------------------------------------------------------------------------
+# error-code-conformance
+# ---------------------------------------------------------------------------
+
+def lint_protocol_tree(tmp_path, protocol_source, extra=None):
+    """Lay out a miniature server/ package and lint it whole."""
+    server = tmp_path / "server"
+    server.mkdir()
+    paths = [server / "protocol.py"]
+    paths[0].write_text(textwrap.dedent(protocol_source))
+    for name, source in (extra or {}).items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    report = lint_paths(tmp_path, paths, select=["error-code-conformance"])
+    return report.findings
+
+
+WIRE_OK = """
+    GOOD_ERROR = "GOOD_ERROR"
+    OTHER_ERROR = "OTHER_ERROR"
+
+    RETRYABLE_CODES = frozenset({GOOD_ERROR})
+    NON_RETRYABLE_CODES = frozenset({OTHER_ERROR})
+
+    class WireError(Exception):
+        def __init__(self, code, message):
+            self.code = code
+
+    def error_payload(code, message):
+        return {"code": code, "retryable": code in RETRYABLE_CODES}
+
+    def fail():
+        raise WireError(GOOD_ERROR, "x")
+
+    def fail_other():
+        raise WireError(OTHER_ERROR, "x")
+"""
+
+WIRE_UNCLASSIFIED = """
+    GOOD_ERROR = "GOOD_ERROR"
+    LIMBO_ERROR = "LIMBO_ERROR"
+
+    RETRYABLE_CODES = frozenset({GOOD_ERROR})
+    NON_RETRYABLE_CODES = frozenset()
+
+    class WireError(Exception):
+        def __init__(self, code, message):
+            self.code = code
+
+    def fail():
+        raise WireError(GOOD_ERROR, "x")
+
+    def fail_limbo():
+        raise WireError(LIMBO_ERROR, "x")
+"""
+
+WIRE_UNKNOWN_EMISSION = """
+    GOOD_ERROR = "GOOD_ERROR"
+
+    RETRYABLE_CODES = frozenset({GOOD_ERROR})
+    NON_RETRYABLE_CODES = frozenset()
+
+    class WireError(Exception):
+        def __init__(self, code, message):
+            self.code = code
+
+    def fail():
+        raise WireError("MADE_UP_CODE", "x")
+
+    def ok():
+        raise WireError(GOOD_ERROR, "x")
+"""
+
+
+def test_wirecheck_accepts_conformant_protocol(tmp_path):
+    assert lint_protocol_tree(tmp_path, WIRE_OK) == []
+
+
+def test_wirecheck_flags_unclassified_code(tmp_path):
+    findings = lint_protocol_tree(tmp_path, WIRE_UNCLASSIFIED)
+    assert any("LIMBO_ERROR" in f.message and "neither" in f.message
+               for f in findings)
+
+
+def test_wirecheck_flags_unknown_code_spelling(tmp_path):
+    findings = lint_protocol_tree(tmp_path, WIRE_UNKNOWN_EMISSION)
+    assert any("MADE_UP_CODE" in f.message for f in findings)
+
+
+def test_wirecheck_flags_dead_code_constant(tmp_path):
+    dead = WIRE_OK.replace('def fail_other():\n        '
+                           'raise WireError(OTHER_ERROR, "x")\n',
+                           'def fail_other():\n        return None\n')
+    findings = lint_protocol_tree(tmp_path, dead)
+    assert any("OTHER_ERROR" in f.message and "never" in f.message
+               for f in findings)
+
+
+def test_wirecheck_silent_without_protocol_module(tmp_path):
+    # fixture trees (and this repo's tests/) have no server/protocol.py
+    findings = lint_snippet(tmp_path, "X = 1\n",
+                            ["error-code-conformance"])
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# guarded-by-interproc
+# ---------------------------------------------------------------------------
+
+INTERPROC_BAD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.counter = 0  # guarded-by: _lock
+
+        def outer(self):
+            self._bump_locked()
+
+        def _bump_locked(self):  # holds: _lock
+            self.counter += 1
+"""
+
+INTERPROC_GOOD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.counter = 0  # guarded-by: _lock
+
+        def outer(self):
+            with self._lock:
+                self._step()
+
+        def _step(self):
+            self._bump_locked()
+
+        def _bump_locked(self):  # holds: _lock
+            self.counter += 1
+"""
+
+
+def test_interproc_flags_unlocked_call_into_holds_method(tmp_path):
+    findings = lint_snippet(tmp_path, INTERPROC_BAD,
+                            ["guarded-by-interproc"])
+    assert rules_of(findings) == ["guarded-by-interproc"]
+    assert "Store.outer->Store._bump_locked" in findings[0].message \
+        or "_bump_locked" in findings[0].message
+
+
+def test_interproc_infers_locks_through_undeclared_helper(tmp_path):
+    assert lint_snippet(tmp_path, INTERPROC_GOOD,
+                        ["guarded-by-interproc"]) == []
+
+
+# ---------------------------------------------------------------------------
+# --since and stale-baseline driver behavior
+# ---------------------------------------------------------------------------
+
+def _git(cwd, *argv):
+    subprocess.run(["git", *argv], cwd=cwd, check=True,
+                   capture_output=True, text=True)
+
+
+def test_since_limits_file_rules_to_changed_files(tmp_path):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-q", "--allow-empty", "-m", "seed")
+    clean = tmp_path / "clean.py"
+    clean.write_text(textwrap.dedent(GUARDED_BAD))  # pre-existing violation
+    _git(tmp_path, "add", "clean.py")
+    _git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+         "commit", "-q", "-m", "baseline tree")
+    changed = tmp_path / "changed.py"
+    changed.write_text(textwrap.dedent(RELEASE_BAD))
+    _git(tmp_path, "add", "changed.py")  # git diff HEAD sees staged adds
+
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "reprolint.py"),
+         "--since", "HEAD", "--format", "json", str(tmp_path)],
+        capture_output=True, text=True, cwd=tmp_path,
+    )
+    payload = json.loads(result.stdout)
+    flagged = {f["path"] for f in payload["findings"]}
+    assert result.returncode == 1
+    # only the uncommitted file is linted by file-scope rules
+    assert any(path.endswith("changed.py") for path in flagged)
+    assert not any(path.endswith("clean.py") for path in flagged)
+
+
+def test_since_with_bad_ref_fails_loudly(tmp_path):
+    _git(tmp_path, "init", "-q")
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "reprolint.py"),
+         "--since", "no-such-ref", str(tmp_path)],
+        capture_output=True, text=True, cwd=tmp_path,
+    )
+    assert result.returncode == 2
+    assert "--since" in result.stderr
+
+
+def test_stale_baseline_entry_fails_full_run(tmp_path):
+    report = lint_paths(REPO_ROOT, [tmp_path], select=None,
+                        baseline={"ghost-rule:src/x.py:ghost"},
+                        check_baseline=True)
+    assert list(report.dead_baseline) == ["ghost-rule:src/x.py:ghost"]
+    assert report.exit_code == 1
+    assert "stale baseline entry" in report.render_text()
+    assert "ghost-rule" in report.render_text()
+
+
+def test_stale_baseline_ignored_on_partial_run(tmp_path):
+    report = lint_paths(REPO_ROOT, [tmp_path], select=None,
+                        baseline={"ghost-rule:src/x.py:ghost"},
+                        check_baseline=False)
+    assert list(report.dead_baseline) == []
+    assert report.exit_code == 0

@@ -6,14 +6,23 @@ source tree and the golden translation corpus::
 
     python tools/reprolint.py                    # lint src/repro + docs
     python tools/reprolint.py src/repro/core     # lint a subtree
+    python tools/reprolint.py --since main       # changed files only
     python tools/reprolint.py --format json      # machine-readable output
     python tools/reprolint.py --list-rules       # rule catalog
     python tools/reprolint.py --select guarded-by,lock-order
     python tools/reprolint.py --write-baseline   # accept current findings
 
+``--since REF`` is the fast local/pre-commit mode: file-scope rules only
+check files changed since the git ref; project-scope rules (lock-order,
+wal-commit-reachability, error-code-conformance, ...) still analyze the
+whole tree, because their invariants are cross-file by nature.
+
 Exits 0 when no *new* (unbaselined) findings exist, 1 otherwise.  The
 baseline lives at ``tools/reprolint-baseline.json`` and is empty — the
-tree is clean; keep it that way.  See docs/ANALYSIS.md.
+tree is clean; keep it that way.  Full default-path runs also fail on
+*stale* baseline entries (fingerprints matching no live finding), so
+the baseline cannot accumulate dead weight that would mask a future
+regression.  See docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -34,6 +44,36 @@ DEFAULT_PATHS = [REPO_ROOT / "src" / "repro"]
 
 def _split(value):
     return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def _changed_since(ref):
+    """Paths of ``.py`` files changed since *ref*, as lint_paths names them.
+
+    Git runs in the *invoking* directory's repository, so ``--since``
+    works both here and when reprolint is pointed at another tree.  Names
+    are normalized to the form :class:`SourceFile.relative` uses:
+    REPO_ROOT-relative posix inside this repo, absolute posix elsewhere.
+    """
+    cwd = pathlib.Path.cwd()
+    toplevel = pathlib.Path(subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        cwd=cwd, capture_output=True, text=True, check=True,
+    ).stdout.strip())
+    output = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        cwd=toplevel, capture_output=True, text=True, check=True,
+    ).stdout
+    changed = set()
+    for line in output.splitlines():
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        path = (toplevel / name).resolve()
+        try:
+            changed.add(path.relative_to(REPO_ROOT).as_posix())
+        except ValueError:
+            changed.add(path.as_posix())
+    return changed
 
 
 def main(argv=None):
@@ -52,6 +92,10 @@ def main(argv=None):
                         metavar="RULES", help="comma-separated rules to run")
     parser.add_argument("--disable", type=_split, default=None,
                         metavar="RULES", help="comma-separated rules to skip")
+    parser.add_argument("--since", metavar="REF", default=None,
+                        help="only run file-scope rules on files changed "
+                        "since this git ref (project rules still run whole-"
+                        "project)")
     parser.add_argument("--list-rules", action="store_true")
     options = parser.parse_args(argv)
 
@@ -61,10 +105,23 @@ def main(argv=None):
         return 0
 
     paths = [pathlib.Path(p) for p in options.paths] or DEFAULT_PATHS
+    file_filter = None
+    if options.since is not None:
+        try:
+            file_filter = _changed_since(options.since)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"reprolint: --since {options.since}: {exc}",
+                  file=sys.stderr)
+            return 2
     baseline = analysis.load_baseline(options.baseline)
+    # stale-baseline detection is only sound when every finding a
+    # fingerprint could match was actually collected: full default run
+    full_run = not options.paths and file_filter is None \
+        and not options.select and not options.disable
     report = analysis.lint_paths(
         REPO_ROOT, paths,
         select=options.select, disable=options.disable, baseline=baseline,
+        file_filter=file_filter, check_baseline=full_run,
     )
 
     if options.write_baseline:
